@@ -1,0 +1,309 @@
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation (§6), plus ablations for the design choices DESIGN.md
+// calls out. Each benchmark reports the figure's headline quantities
+// through b.ReportMetric so `go test -bench=.` output doubles as the
+// measurement record behind EXPERIMENTS.md.
+package p4all_test
+
+import (
+	"fmt"
+	"testing"
+
+	"p4all"
+	"p4all/internal/apps"
+	"p4all/internal/core"
+	"p4all/internal/eval"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+	"p4all/internal/unroll"
+	"p4all/internal/workload"
+)
+
+// ------------------------------------------------------------- Figure 4
+
+// BenchmarkFigure4NetCacheQuality sweeps the NetCache quality surface:
+// hit rate over (CMS shape × KVS share) under a fixed memory budget.
+func BenchmarkFigure4NetCacheQuality(b *testing.B) {
+	cfg := eval.DefaultFig4Config()
+	budget := int64(8 * pisa.Mb)
+	for i := 0; i < b.N; i++ {
+		points := eval.Figure4(cfg, budget,
+			[]int{1, 2, 3, 4},
+			[]float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95})
+		best := eval.BestFig4(points)
+		b.ReportMetric(best.HitRate, "best-hit-rate")
+		b.ReportMetric(float64(best.CMSRows), "best-cms-rows")
+		b.ReportMetric(float64(best.KVSlots), "best-kv-items")
+	}
+}
+
+// ------------------------------------------------------------- Figure 7
+
+// BenchmarkFigure7NetCacheLayout compiles NetCache on the paper's
+// 1.75 Mb/stage evaluation target and reports the layout headline: how
+// many stages the CMS and KVS occupy.
+func BenchmarkFigure7NetCacheLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure7(7 * pisa.Mb / 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmsStages, kvStages := map[int]bool{}, map[int]bool{}
+		for _, rp := range res.Layout.Registers {
+			for _, s := range rp.Stages {
+				if rp.Register == "cms_sketch" {
+					cmsStages[s] = true
+				}
+				if rp.Register == "kv_store" {
+					kvStages[s] = true
+				}
+			}
+		}
+		b.ReportMetric(float64(res.Layout.Symbolic("cms_rows")), "cms-rows")
+		b.ReportMetric(float64(len(cmsStages)), "cms-stages")
+		b.ReportMetric(float64(len(kvStages)), "kv-stages")
+		b.ReportMetric(res.Phases.Total().Seconds(), "compile-sec")
+	}
+}
+
+// ------------------------------------------------------------- Figure 9
+
+// BenchmarkFigure9UnrollBound reproduces the unrolling example: the
+// CMS loop on a 3-stage target unrolls exactly twice.
+func BenchmarkFigure9UnrollBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Bound != 2 {
+			b.Fatalf("bound = %d, want 2", res.Bound)
+		}
+		b.ReportMetric(float64(res.Bound), "unroll-bound")
+		b.ReportMetric(float64(res.PathAtK[3]), "path-at-K3")
+	}
+}
+
+// ------------------------------------------------------------ Figure 11
+
+// BenchmarkFigure11Apps compiles each benchmark application and
+// reports the Figure 11 table columns: source sizes, compile time,
+// and ILP dimensions.
+func BenchmarkFigure11Apps(b *testing.B) {
+	for _, app := range apps.All() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compile(app.Source, pisa.EvalTarget(7*pisa.Mb/4), core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(eval.CountLoC(app.Source)), "p4all-loc")
+				b.ReportMetric(float64(eval.CountLoC(res.P4)), "p4-loc")
+				b.ReportMetric(float64(res.Layout.Stats.Vars), "ilp-vars")
+				b.ReportMetric(float64(res.Layout.Stats.Constrs), "ilp-constrs")
+				b.ReportMetric(res.Phases.Total().Seconds(), "compile-sec")
+				b.ReportMetric(100*res.Layout.Stats.Gap, "gap-pct")
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------ Figure 12
+
+// BenchmarkFigure12Elasticity sweeps per-stage memory and reports how
+// NetCache's structures stretch.
+func BenchmarkFigure12Elasticity(b *testing.B) {
+	for _, mem := range []int{pisa.Mb / 2, pisa.Mb, 7 * pisa.Mb / 4, 5 * pisa.Mb / 2} {
+		mem := mem
+		b.Run(fmt.Sprintf("M=%.2fMb", float64(mem)/float64(pisa.Mb)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := eval.Figure12([]int{mem})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pts[0].CMSCells), "cms-cells")
+				b.ReportMetric(float64(pts[0].KVItems), "kv-items")
+				b.ReportMetric(100*pts[0].Gap, "gap-pct")
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------ Figure 13
+
+// BenchmarkFigure13Utility compiles NetCache under the two §6.2
+// utility weightings and reports the resulting split.
+func BenchmarkFigure13Utility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure13(7 * pisa.Mb / 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].CMSCells), "cms-heavy/cms-cells")
+		b.ReportMetric(float64(rows[0].KVItems), "cms-heavy/kv-items")
+		b.ReportMetric(float64(rows[1].CMSCells), "kv-heavy/cms-cells")
+		b.ReportMetric(float64(rows[1].KVItems), "kv-heavy/kv-items")
+	}
+}
+
+// ------------------------------------------------------------ Ablations
+
+// BenchmarkAblationStageWindow measures the stage-window presolve's
+// effect on the NetCache root LP bound (DESIGN.md §5): without it the
+// relaxation overstates the optimum by using memory in stages no
+// register can integrally occupy.
+func BenchmarkAblationStageWindow(b *testing.B) {
+	app := apps.NetCache(apps.NetCacheConfig{})
+	u, err := lang.ParseAndResolve(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := pisa.EvalTarget(7 * pisa.Mb / 4)
+	bounds, err := unroll.UpperBounds(u, &tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "on"
+		if !on {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			ilpgen.SetStageWindowTightening(on)
+			defer ilpgen.SetStageWindowTightening(true)
+			for i := 0; i < b.N; i++ {
+				prog, err := ilpgen.Generate(u, &tgt, bounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol, err := ilp.SolveRootLP(prog.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(sol.RootBound, "root-bound")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeuristicDive compares branch-and-bound with and
+// without the incumbent dive on the standalone CMS.
+func BenchmarkAblationHeuristicDive(b *testing.B) {
+	u, err := lang.ParseAndResolve(modules.StandaloneCMS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := pisa.EvalTarget(pisa.Mb)
+	bounds, err := unroll.UpperBounds(u, &tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "dive-on"
+		if disable {
+			name = "dive-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := ilpgen.Generate(u, &tgt, bounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				layout, err := prog.Solve(ilp.Options{DisableHeuristic: disable, Gap: 0.03})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(layout.Stats.Nodes), "bnb-nodes")
+			}
+		})
+	}
+}
+
+// BenchmarkSimplexLP measures raw LP solve throughput on the NetCache
+// relaxation (the inner loop of every compile).
+func BenchmarkSimplexLP(b *testing.B) {
+	app := apps.NetCache(apps.NetCacheConfig{})
+	u, err := lang.ParseAndResolve(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := pisa.EvalTarget(7 * pisa.Mb / 4)
+	bounds, err := unroll.UpperBounds(u, &tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ilpgen.Generate(u, &tgt, bounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.SolveRootLP(prog.Model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCMS measures the full pipeline on the library CMS —
+// the smallest end-to-end compile.
+func BenchmarkCompileCMS(b *testing.B) {
+	tgt := pisa.EvalTarget(pisa.Mb)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(modules.StandaloneCMS(), tgt, core.Options{SkipCodegen: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineProcess measures the behavioral data plane's packet
+// throughput on the compiled CMS.
+func BenchmarkPipelineProcess(b *testing.B) {
+	tgt := pisa.Target{Name: "bench", Stages: 6, MemoryBits: 1 << 15, StatefulALUs: 2, StatelessALUs: 8, PHVBits: 4096}
+	res, err := core.Compile(modules.StandaloneCMS(), tgt, core.Options{SkipCodegen: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := p4all.NewPipeline(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := workload.ZipfKeys(1, 10000, 1.0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Process(p4all.Packet{"pkt.flow": keys[i%len(keys)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnrollBounds measures the §4.2 bound computation alone.
+func BenchmarkUnrollBounds(b *testing.B) {
+	app := apps.NetCache(apps.NetCacheConfig{})
+	u, err := lang.ParseAndResolve(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := pisa.EvalTarget(7 * pisa.Mb / 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unroll.UpperBounds(u, &tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseResolve measures the front end alone.
+func BenchmarkParseResolve(b *testing.B) {
+	src := apps.NetCache(apps.NetCacheConfig{}).Source
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.ParseAndResolve(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

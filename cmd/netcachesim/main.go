@@ -1,0 +1,67 @@
+// Command netcachesim measures NetCache cache quality: it plays a
+// Zipf-skewed key-request stream against a count-min-sketch-admitted
+// key-value cache with the shapes the P4All compiler chose (or shapes
+// given on the command line) and reports the hit rate — the quality
+// metric of the paper's Figure 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p4all/internal/apps"
+	"p4all/internal/core"
+	"p4all/internal/eval"
+	"p4all/internal/pisa"
+)
+
+func main() {
+	var (
+		mem      = flag.Int("mem", 7*pisa.Mb/4, "per-stage memory bits for the compiled shape")
+		rows     = flag.Int("rows", 0, "CMS rows (0: use the compiler's choice)")
+		cols     = flag.Int("cols", 0, "CMS cols (0: use the compiler's choice)")
+		items    = flag.Int("items", 0, "KV items (0: use the compiler's choice)")
+		keys     = flag.Int("keys", 100000, "key universe size")
+		requests = flag.Int("requests", 400000, "request count")
+		zipf     = flag.Float64("zipf", 0.95, "request skew")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *rows == 0 || *cols == 0 || *items == 0 {
+		fmt.Fprintln(os.Stderr, "compiling NetCache to obtain structure shapes...")
+		app := apps.NetCache(apps.NetCacheConfig{})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(*mem), core.Options{SkipCodegen: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netcachesim:", err)
+			os.Exit(1)
+		}
+		l := res.Layout
+		if *rows == 0 {
+			*rows = int(l.Symbolic("cms_rows"))
+		}
+		if *cols == 0 {
+			*cols = int(l.Symbolic("cms_cols"))
+		}
+		if *items == 0 {
+			*items = int(l.Symbolic("kv_parts") * l.Symbolic("kv_slots"))
+		}
+		fmt.Fprintf(os.Stderr, "compiler chose cms %dx%d, kv %d items (certified gap %.2f%%)\n",
+			*rows, *cols, *items, 100*l.Stats.Gap)
+	}
+
+	cfg := eval.Fig4Config{
+		Seed: *seed, Keys: *keys, Requests: *requests, Zipf: *zipf,
+		Threshold: 8, Epoch: *requests / 8,
+	}
+	budget := int64(*rows)*int64(*cols)*32 + int64(*items)*64
+	pts := eval.Figure4(cfg, budget, []int{*rows}, []float64{float64(int64(*items)*64) / float64(budget)})
+	if len(pts) == 0 {
+		fmt.Fprintln(os.Stderr, "netcachesim: degenerate configuration")
+		os.Exit(1)
+	}
+	p := pts[0]
+	fmt.Printf("cms %dx%d (%d bits), kv %d items (%d bits): hit rate %.4f over %d requests\n",
+		p.CMSRows, p.CMSCols, int64(p.CMSRows*p.CMSCols)*32, p.KVSlots, int64(p.KVSlots)*64, p.HitRate, *requests)
+}

@@ -1,0 +1,148 @@
+// Command p4allbench regenerates the paper's evaluation figures and
+// tables (§6) as text tables:
+//
+//	p4allbench -fig 4    NetCache quality surface
+//	p4allbench -fig 7    optimal NetCache layout (stage map)
+//	p4allbench -fig 9    loop-unrolling running example
+//	p4allbench -fig 11   application benchmark table
+//	p4allbench -fig 12   memory-elasticity sweep
+//	p4allbench -fig 13   utility-function comparison
+//	p4allbench -fig all  everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"p4all/internal/eval"
+	"p4all/internal/pisa"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, or all")
+	mem := flag.Int("mem", 7*pisa.Mb/4, "per-stage memory bits for single-target figures")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("==================== Figure %s ====================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("4", fig4)
+	run("9", fig9)
+	run("7", func() error { return fig7(*mem) })
+	run("11", func() error { return fig11(*mem) })
+	run("12", fig12)
+	run("13", func() error { return fig13(*mem) })
+}
+
+func fig4() error {
+	cfg := eval.DefaultFig4Config()
+	budget := int64(8 * pisa.Mb)
+	points := eval.Figure4(cfg, budget,
+		[]int{1, 2, 3, 4},
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99})
+	fmt.Printf("NetCache quality (hit rate) over an %d-bit budget; Zipf %.2f over %d keys\n\n",
+		budget, cfg.Zipf, cfg.Keys)
+	fmt.Printf("%8s %10s %10s %10s\n", "cms_rows", "cms_cols", "kv_items", "hit_rate")
+	for _, p := range points {
+		fmt.Printf("%8d %10d %10d %9.3f\n", p.CMSRows, p.CMSCols, p.KVSlots, p.HitRate)
+	}
+	best := eval.BestFig4(points)
+	fmt.Printf("\noptimum: rows=%d cols=%d kv_items=%d hit=%.3f (KVS-heavy with a small accurate sketch,\n"+
+		"the configuration the paper's utility function selects)\n",
+		best.CMSRows, best.CMSCols, best.KVSlots, best.HitRate)
+	return nil
+}
+
+func fig7(mem int) error {
+	res, err := eval.Figure7(mem)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NetCache on %s with utility 0.4*(rows*cols) + 0.6*(kv_items):\n\n", res.Target.String())
+	fmt.Print(res.Layout.String())
+	fmt.Printf("\ncompile time %v, certified gap %.2f%%\n", res.Phases.Total(), 100*res.Layout.Stats.Gap)
+	return nil
+}
+
+func fig9() error {
+	res, err := eval.Figure9()
+	if err != nil {
+		return err
+	}
+	fmt.Println("CMS loop unrolling on the 3-stage running-example target:")
+	for k := 1; k <= 3; k++ {
+		fit := "fits"
+		if res.PathAtK[k] > 3 {
+			fit = "exceeds S=3"
+		}
+		fmt.Printf("  K=%d: longest simple path %d (%s)\n", k, res.PathAtK[k], fit)
+	}
+	fmt.Printf("upper bound for rows: %d (criterion: %s) — the paper's Figure 9 result\n", res.Bound, res.Reason)
+	return nil
+}
+
+func fig11(mem int) error {
+	rows, err := eval.Figure11(mem)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %8s %12s %9s %11s %6s\n",
+		"Application", "P4All LoC", "P4 LoC", "Compile (s)", "ILP vars", "ILP constrs", "gap%")
+	for _, r := range rows {
+		fmt.Printf("%-12s %10d %8d %12.2f %9d %11d %6.2f\n",
+			r.App, r.P4AllLoC, r.P4LoC, r.CompileTime.Seconds(), r.ILPVars, r.ILPConstrs, 100*r.Gap)
+	}
+	fmt.Println("\nsolved symbolic values:")
+	for _, r := range rows {
+		names := make([]string, 0, len(r.Symbolics))
+		for n := range r.Symbolics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("  %-12s", r.App)
+		for _, n := range names {
+			fmt.Printf(" %s=%d", n, r.Symbolics[n])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig12() error {
+	pts, err := eval.Figure12(eval.DefaultFig12Mems())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %9s %9s %10s %9s %9s %10s %6s\n",
+		"mem (Mb)", "cms_rows", "cms_cols", "cms_cells", "kv_parts", "kv_slots", "kv_items", "gap%")
+	for _, p := range pts {
+		fmt.Printf("%10.2f %9d %9d %10d %9d %9d %10d %6.2f\n",
+			float64(p.MemBits)/float64(pisa.Mb), p.CMSRows, p.CMSCols, p.CMSCells,
+			p.KVParts, p.KVSlots, p.KVItems, 100*p.Gap)
+	}
+	return nil
+}
+
+func fig13(mem int) error {
+	rows, err := eval.Figure13(mem)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NetCache at %.2f Mb/stage with the 8 Mb key-value floor:\n\n", float64(mem)/float64(pisa.Mb))
+	fmt.Printf("%-58s %10s %10s %6s\n", "utility", "cms_cells", "kv_items", "gap%")
+	for _, r := range rows {
+		fmt.Printf("%-58s %10d %10d %6.2f\n", r.Utility, r.CMSCells, r.KVItems, 100*r.Gap)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command p4allc is the P4All compiler: it reads an elastic .p4all
+// program and a PISA target specification, computes the optimal
+// symbolic assignment and stage layout, and emits the concrete P4
+// program (the paper's Figure 8 toolchain).
+//
+// Usage:
+//
+//	p4allc -target eval -mem 1835008 -layout prog.p4all
+//	p4allc -target spec.json -o prog.p4 prog.p4all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p4all/internal/check"
+	"p4all/internal/core"
+	"p4all/internal/ilp"
+	"p4all/internal/pisa"
+)
+
+func main() {
+	var (
+		targetFlag = flag.String("target", "eval", "target spec: builtin name (eval, running-example, tofino) or a JSON file path")
+		memFlag    = flag.Int("mem", 0, "override per-stage register memory (bits)")
+		outFlag    = flag.String("o", "", "write the generated P4 program to this file (default stdout)")
+		layoutFlag = flag.Bool("layout", false, "print the stage layout report")
+		statsFlag  = flag.Bool("stats", false, "print compile phases and ILP statistics")
+		exactFlag  = flag.Bool("exact", false, "prove optimality (no MIP gap; may be slow)")
+		gapFlag    = flag.Float64("gap", 0, "accepted optimality gap (default 0.02)")
+		timeFlag   = flag.Duration("timeout", 0, "solver time limit (default 90s)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p4allc [flags] program.p4all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	target, err := resolveTarget(*targetFlag, *memFlag)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{}
+	if *exactFlag {
+		opts.Solver = ilp.Options{Gap: -1, NodeLimit: 1 << 20, TimeLimit: time.Hour}
+	}
+	if *gapFlag > 0 {
+		opts.Solver.Gap = *gapFlag
+	}
+	if *timeFlag > 0 {
+		opts.Solver.TimeLimit = *timeFlag
+	}
+	res, err := core.Compile(string(src), target, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range check.Bounds(res.Unit) {
+		fmt.Fprintf(os.Stderr, "p4allc: warning: %s\n", w)
+	}
+	if *layoutFlag {
+		fmt.Fprint(os.Stderr, res.Layout.String())
+	}
+	if *statsFlag {
+		fmt.Fprintf(os.Stderr, "phases: parse=%v bounds=%v ilpgen=%v solve=%v codegen=%v (total %v)\n",
+			res.Phases.Parse, res.Phases.Bounds, res.Phases.Generate, res.Phases.Solve, res.Phases.Codegen, res.Phases.Total())
+		fmt.Fprintf(os.Stderr, "ILP: %d variables, %d constraints, %d nodes, certified gap %.2f%%\n",
+			res.Layout.Stats.Vars, res.Layout.Stats.Constrs, res.Layout.Stats.Nodes, 100*res.Layout.Stats.Gap)
+	}
+	if *outFlag == "" {
+		fmt.Print(res.P4)
+		return
+	}
+	if err := os.WriteFile(*outFlag, []byte(res.P4), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func resolveTarget(spec string, memOverride int) (pisa.Target, error) {
+	var t pisa.Target
+	switch strings.ToLower(spec) {
+	case "eval":
+		t = pisa.EvalTarget(7 * pisa.Mb / 4)
+	case "running-example":
+		t = pisa.RunningExampleTarget()
+	case "tofino", "tofino-like":
+		t = pisa.TofinoLike()
+	default:
+		var err error
+		t, err = pisa.LoadTarget(spec)
+		if err != nil {
+			return t, err
+		}
+	}
+	if memOverride > 0 {
+		t.MemoryBits = memOverride
+	}
+	return t, t.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p4allc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p4all/internal/pisa"
+)
+
+func TestResolveTargetBuiltins(t *testing.T) {
+	cases := map[string]int{"eval": 10, "running-example": 3, "tofino": 12, "Tofino-Like": 12}
+	for spec, stages := range cases {
+		tgt, err := resolveTarget(spec, 0)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if tgt.Stages != stages {
+			t.Errorf("%s: stages = %d, want %d", spec, tgt.Stages, stages)
+		}
+	}
+}
+
+func TestResolveTargetMemOverride(t *testing.T) {
+	tgt, err := resolveTarget("eval", 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.MemoryBits != 12345 {
+		t.Errorf("MemoryBits = %d, want override 12345", tgt.MemoryBits)
+	}
+}
+
+func TestResolveTargetJSONFile(t *testing.T) {
+	spec := pisa.TofinoLike()
+	data, err := spec.MarshalSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "target.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := resolveTarget(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Stages != spec.Stages || tgt.HashUnits != spec.HashUnits {
+		t.Errorf("loaded target mismatch: %+v", tgt)
+	}
+}
+
+func TestResolveTargetMissing(t *testing.T) {
+	if _, err := resolveTarget("/no/such/spec.json", 0); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

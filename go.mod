@@ -1,0 +1,3 @@
+module p4all
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package check implements the static verification the paper's §7
+// leaves as future work: proving that every index used with a symbolic
+// (elastic) array stays in bounds. The checker compares each access's
+// index range against the array's extent using the loop structure and
+// the program's assume-derived intervals, reporting a warning for any
+// access it cannot prove safe.
+package check
+
+import (
+	"fmt"
+
+	"p4all/internal/lang"
+	"p4all/internal/unroll"
+)
+
+// Warning is one potential out-of-bounds access.
+type Warning struct {
+	Action string
+	Target string // array being indexed
+	Index  string // description of the index
+	Reason string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s: index %s of %s may be out of bounds: %s", w.Action, w.Index, w.Target, w.Reason)
+}
+
+// Bounds statically checks every elastic-array access of the program.
+// A nil slice means every access was proven in bounds.
+func Bounds(u *lang.Unit) []Warning {
+	c := &checker{u: u, assume: unroll.AssumeBounds(u)}
+	for _, inv := range u.Invocations {
+		c.invocation(inv)
+	}
+	return c.warnings
+}
+
+type checker struct {
+	u        *lang.Unit
+	assume   map[*lang.Symbolic]unroll.Bound
+	warnings []Warning
+}
+
+func (c *checker) warnf(action, target, index, reason string, args ...interface{}) {
+	c.warnings = append(c.warnings, Warning{
+		Action: action,
+		Target: target,
+		Index:  index,
+		Reason: fmt.Sprintf(reason, args...),
+	})
+}
+
+// invocation checks all instance-selecting indexes of one call site.
+func (c *checker) invocation(inv *lang.Invocation) {
+	a := inv.Action
+	loopSym := func() *lang.Symbolic {
+		if l := inv.Loop(); l != nil {
+			return l.Sym
+		}
+		return nil
+	}()
+	for _, r := range a.Registers {
+		c.access(a.Name, r.Reg.Name, r.Reg.Count, r.Class, r.ConstIdx, loopSym, inv)
+	}
+	for _, m := range a.Meta {
+		c.access(a.Name, m.Field.Qual(), m.Field.Count, m.Class, m.ConstIdx, loopSym, inv)
+	}
+	for _, m := range inv.GuardReads {
+		c.access(a.Name+" (guard)", m.Field.Qual(), m.Field.Count, m.Class, m.ConstIdx, loopSym, inv)
+	}
+}
+
+// access proves one instance selection in bounds, or warns.
+func (c *checker) access(action, target string, extent lang.SizeExpr, class lang.IndexClass, constIdx int64, loopSym *lang.Symbolic, inv *lang.Invocation) {
+	switch class {
+	case lang.IdxScalar:
+		return // no elastic dimension to overrun
+	case lang.IdxConst:
+		// Constant index: must be below the extent's guaranteed
+		// minimum value.
+		switch {
+		case !extent.IsSymbolic():
+			if constIdx >= extent.Const {
+				c.warnf(action, target, fmt.Sprintf("%d", constIdx),
+					"extent is %d", extent.Const)
+			}
+		default:
+			lo := c.assume[extent.Sym].Lo
+			if constIdx >= lo {
+				c.warnf(action, target, fmt.Sprintf("%d", constIdx),
+					"extent %s is only assumed >= %d; add `assume %s >= %d`",
+					extent.Sym.Name, lo, extent.Sym.Name, constIdx+1)
+			}
+		}
+	case lang.IdxParam:
+		// Iteration-parameter index: i ranges over [0, loopSym). Safe
+		// exactly when the extent is the same symbolic, a constant
+		// provably >= the loop bound, or a symbolic assumed >= it.
+		if loopSym == nil {
+			if inv.HasConstIndex {
+				c.access(action, target, extent, lang.IdxConst, inv.ConstIndex, nil, inv)
+				return
+			}
+			c.warnf(action, target, "iteration parameter",
+				"indexed call outside any elastic loop")
+			return
+		}
+		switch {
+		case extent.IsSymbolic() && extent.Sym == loopSym:
+			return // i < loopSym indexes an array sized loopSym: safe
+		case extent.IsSymbolic():
+			// Different symbolic: safe only if extent >= loop bound is
+			// implied by the assumes (extent.Lo >= loopSym.Hi).
+			loopHi := c.assume[loopSym].Hi
+			extLo := c.assume[extent.Sym].Lo
+			if loopHi == unroll.NoUpper || extLo < loopHi {
+				c.warnf(action, target, fmt.Sprintf("%s (< %s)", "iteration", loopSym.Name),
+					"array sized by %s; prove %s >= %s with assume statements",
+					extent.Sym.Name, extent.Sym.Name, loopSym.Name)
+			}
+		default:
+			loopHi := c.assume[loopSym].Hi
+			if loopHi == unroll.NoUpper || extent.Const < loopHi {
+				c.warnf(action, target, fmt.Sprintf("iteration (< %s)", loopSym.Name),
+					"array extent is the constant %d but %s may reach %s",
+					extent.Const, loopSym.Name, boundText(loopHi))
+			}
+		}
+	}
+}
+
+func boundText(hi int64) string {
+	if hi == unroll.NoUpper {
+		return "any value"
+	}
+	return fmt.Sprintf("%d", hi)
+}

@@ -1,0 +1,136 @@
+// Package core implements the P4All compiler — the paper's primary
+// contribution (§4, Figure 8). Compile runs the full pipeline:
+//
+//	P4All source ─parse/resolve→ Unit
+//	            ─dependency analysis + unrolling bounds→ (§4.2)
+//	            ─ILP generation→ Figure 10 model (§4.3)
+//	            ─ILP solve→ symbolic assignment + stage mapping
+//	            ─code generation→ concrete P4 program
+//
+// The result carries everything the paper's evaluation reports:
+// per-phase times, ILP size (Figure 11), the layout (Figure 7), the
+// symbolic assignment (Figures 12/13), and the generated program.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"p4all/internal/codegen"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/pisa"
+	"p4all/internal/unroll"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Solver tunes the branch-and-bound search. Zero-valued fields
+	// get compiler defaults: a 3% optimality gap, 4000-node and
+	// 90-second limits (Layout.Stats.Gap records what was certified;
+	// set Solver.Gap negative for exact optimization).
+	Solver ilp.Options
+	// SkipCodegen stops after solving (benchmarks that only need the
+	// layout).
+	SkipCodegen bool
+}
+
+// withDefaults fills unset solver knobs.
+func (o Options) withDefaults() Options {
+	if o.Solver.Gap == 0 {
+		o.Solver.Gap = 0.03
+	} else if o.Solver.Gap < 0 {
+		o.Solver.Gap = 0
+	}
+	if o.Solver.NodeLimit == 0 {
+		o.Solver.NodeLimit = 4000
+	}
+	if o.Solver.TimeLimit == 0 {
+		o.Solver.TimeLimit = 90 * time.Second
+	}
+	return o
+}
+
+// Phases records per-phase wall time.
+type Phases struct {
+	Parse    time.Duration
+	Bounds   time.Duration
+	Generate time.Duration
+	Solve    time.Duration
+	Codegen  time.Duration
+}
+
+// Total returns the end-to-end compile time.
+func (p Phases) Total() time.Duration {
+	return p.Parse + p.Bounds + p.Generate + p.Solve + p.Codegen
+}
+
+// Result is a completed compilation.
+type Result struct {
+	Unit   *lang.Unit
+	Target pisa.Target
+	Bounds *unroll.Result
+	ILP    *ilpgen.ILP
+	Layout *ilpgen.Layout
+	P4     string
+	Phases Phases
+}
+
+// Compile runs the full P4All pipeline on source for the target.
+func Compile(source string, target pisa.Target, opts Options) (*Result, error) {
+	start := time.Now()
+	u, err := lang.ParseAndResolve(source)
+	if err != nil {
+		return nil, fmt.Errorf("p4all: front end: %w", err)
+	}
+	parse := time.Since(start)
+	res, err := CompileUnit(u, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Parse = parse
+	return res, nil
+}
+
+// CompileUnit compiles an already-resolved unit (used when the same
+// program is recompiled against many targets).
+func CompileUnit(u *lang.Unit, target pisa.Target, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Unit: u, Target: target}
+
+	start := time.Now()
+	bounds, err := unroll.UpperBounds(u, &target)
+	if err != nil {
+		return nil, fmt.Errorf("p4all: unroll bounds: %w", err)
+	}
+	res.Bounds = bounds
+	res.Phases.Bounds = time.Since(start)
+
+	start = time.Now()
+	prog, err := ilpgen.Generate(u, &res.Target, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("p4all: ILP generation: %w", err)
+	}
+	res.ILP = prog
+	res.Phases.Generate = time.Since(start)
+
+	start = time.Now()
+	layout, err := prog.Solve(opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	res.Layout = layout
+	res.Phases.Solve = time.Since(start)
+
+	if !opts.SkipCodegen {
+		start = time.Now()
+		p4, err := codegen.Generate(u, layout)
+		if err != nil {
+			return nil, fmt.Errorf("p4all: code generation: %w", err)
+		}
+		res.P4 = p4
+		res.Phases.Codegen = time.Since(start)
+	}
+	return res, nil
+}

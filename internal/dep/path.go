@@ -1,0 +1,165 @@
+package dep
+
+// Longest simple path computation for the unrolling criterion of §4.2:
+// a simple path in the dependency graph is a sequence of distinct
+// nodes where each step follows a precedence edge forward or an
+// exclusion edge in either direction. Every node on such a path needs
+// its own pipeline stage, so a path longer than S cannot fit.
+
+// exactNodeLimit caps the graph size for the exact DFS; larger graphs
+// use the component-condensation estimate. Either estimate direction
+// keeps the compiler sound (the ILP re-checks exact placement), it only
+// affects how far loops unroll.
+const exactNodeLimit = 48
+
+// LongestSimplePath returns the number of nodes on the longest simple
+// path of g (0 for an empty graph).
+func (g *Graph) LongestSimplePath() int {
+	if len(g.Nodes) == 0 {
+		return 0
+	}
+	if len(g.Nodes) <= exactNodeLimit {
+		return g.exactLongestPath()
+	}
+	return g.estimateLongestPath()
+}
+
+// neighbors returns the nodes reachable in one path step from a.
+func (g *Graph) neighbors(a int) []int {
+	out := make([]int, 0, len(g.Prec[a])+len(g.Excl[a]))
+	out = append(out, g.Prec[a]...)
+	out = append(out, g.Excl[a]...)
+	return out
+}
+
+func (g *Graph) exactLongestPath() int {
+	n := len(g.Nodes)
+	visited := make([]bool, n)
+	best := 1
+	// Work budget: graphs dominated by big exclusion cliques make the
+	// DFS factorial; past the budget we fall back to the component
+	// estimate (exact for clique-plus-chain graphs, and either way a
+	// sound substitute — see the package comment).
+	const dfsBudget = 200000
+	steps := 0
+	var dfs func(at, length int)
+	dfs = func(at, length int) {
+		steps++
+		if length > best {
+			best = length
+		}
+		if best == n || steps > dfsBudget {
+			return
+		}
+		// Prune: even visiting every remaining node cannot beat best.
+		remaining := 0
+		for _, v := range visited {
+			if !v {
+				remaining++
+			}
+		}
+		if length+remaining <= best {
+			return
+		}
+		for _, nb := range g.neighbors(at) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			dfs(nb, length+1)
+			visited[nb] = false
+			if best == n || steps > dfsBudget {
+				return
+			}
+		}
+	}
+	for start := 0; start < n; start++ {
+		visited[start] = true
+		dfs(start, 1)
+		visited[start] = false
+		if best == n || steps > dfsBudget {
+			break
+		}
+	}
+	if steps > dfsBudget {
+		if est := g.estimateLongestPath(); est > best {
+			return est
+		}
+	}
+	return best
+}
+
+// estimateLongestPath condenses exclusion-connected components (whose
+// members can be chained consecutively on a path) and takes the longest
+// weighted path over the precedence DAG between components.
+func (g *Graph) estimateLongestPath() int {
+	n := len(g.Nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var compSize []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		id := len(compSize)
+		size := 0
+		stack := []int{i}
+		comp[i] = id
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, y := range g.Excl[x] {
+				if comp[y] < 0 {
+					comp[y] = id
+					stack = append(stack, y)
+				}
+			}
+		}
+		compSize = append(compSize, size)
+	}
+	// Component DAG over precedence edges. Precedence edges always
+	// point forward in program order, so the node-level graph is
+	// acyclic; component cycles could only arise from exclusion
+	// merging, which we break by ignoring back edges (the result is
+	// still a sound estimate).
+	nc := len(compSize)
+	adj := make([][]int, nc)
+	for a, succ := range g.Prec {
+		for _, b := range succ {
+			if comp[a] != comp[b] {
+				adj[comp[a]] = append(adj[comp[a]], comp[b])
+			}
+		}
+	}
+	memo := make([]int, nc)
+	state := make([]byte, nc) // 0 unvisited, 1 in-progress, 2 done
+	var longest func(c int) int
+	longest = func(c int) int {
+		switch state[c] {
+		case 2:
+			return memo[c]
+		case 1:
+			return 0 // cycle guard
+		}
+		state[c] = 1
+		best := 0
+		for _, d := range adj[c] {
+			if v := longest(d); v > best {
+				best = v
+			}
+		}
+		memo[c] = compSize[c] + best
+		state[c] = 2
+		return memo[c]
+	}
+	best := 0
+	for c := 0; c < nc; c++ {
+		if v := longest(c); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,6 @@
+package dep
+
+import "math/rand"
+
+// newRand builds a deterministic rng for property tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,374 @@
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Options tunes the branch-and-bound search. The zero value requests
+// exact optimization with generous default limits.
+type Options struct {
+	// TimeLimit bounds total solve wall time (0 means no limit).
+	TimeLimit time.Duration
+	// NodeLimit bounds branch-and-bound nodes (0 means the default of
+	// 200000).
+	NodeLimit int
+	// IterLimit bounds simplex iterations per LP solve (0 means the
+	// default of 50000).
+	IterLimit int
+	// Gap is the relative optimality gap at which the search may stop
+	// early (0 means prove optimality to tolerance).
+	Gap float64
+	// DisableHeuristic skips the initial rounding dive used to seed an
+	// incumbent (used by ablation benchmarks).
+	DisableHeuristic bool
+}
+
+const (
+	defaultNodeLimit = 200000
+	defaultIterLimit = 50000
+	intTol           = 1e-6
+)
+
+// node is one branch-and-bound subproblem.
+type node struct {
+	lo, hi []float64
+	bound  float64 // LP relaxation objective (min sense)
+	depth  int
+	hint   []float64 // parent LP solution warm-starting this node
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Solve optimizes the model. Pure LPs (no integer variables) are solved
+// with a single simplex run; otherwise branch and bound proves integer
+// optimality. The returned Solution reports values and objective in the
+// model's own sense.
+func Solve(m *Model, opts Options) (*Solution, error) {
+	sf, err := lowerModel(m)
+	if err != nil {
+		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr // trivially infeasible is a result, not a failure
+	}
+	nodeLimit := opts.NodeLimit
+	if nodeLimit == 0 {
+		nodeLimit = defaultNodeLimit
+	}
+	iterLimit := opts.IterLimit
+	if iterLimit == 0 {
+		iterLimit = defaultIterLimit
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	hasInt := false
+	for _, isInt := range sf.intVar {
+		if isInt {
+			hasInt = true
+			break
+		}
+	}
+
+	totalIters := 0
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	var rootBound float64
+	var queue *nodeQueue
+	finish := func(status Status, objMin float64, x []float64, nodes int) *Solution {
+		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: totalIters, RootBound: rootBound}
+		if x != nil {
+			sol.Values = x
+			// lowerModel folded the sense into cost and objK, so the
+			// model-sense objective is sign*(objMin + objK).
+			sol.Objective = sign * (objMin + sf.objK)
+			sol.BestBound = sol.Objective
+			if status != StatusOptimal && queue != nil && queue.Len() > 0 {
+				// The open node with the best bound limits how much
+				// better any undiscovered solution could be.
+				sol.BestBound = sign * ((*queue)[0].bound + sf.objK)
+			} else if status == StatusOptimal && opts.Gap > 0 && queue != nil && queue.Len() > 0 {
+				sol.BestBound = sign * ((*queue)[0].bound + sf.objK)
+			}
+		}
+		return sol
+	}
+
+	lo, hi := sf.cloneBounds()
+	st, obj, x, iters, err := solveLP(sf, lo, hi, iterLimit, nil)
+	totalIters += iters
+	if err != nil {
+		return nil, err
+	}
+	rootBound = sign * (obj + sf.objK)
+	switch st {
+	case lpInfeasible:
+		return finish(StatusInfeasible, 0, nil, 1), nil
+	case lpUnbounded:
+		return finish(StatusUnbounded, 0, nil, 1), nil
+	}
+	if !hasInt || integral(sf, x) {
+		return finish(StatusOptimal, obj, x, 1), nil
+	}
+
+	// Branch and bound.
+	var (
+		bestObj = math.Inf(1)
+		bestX   []float64
+		nodes   = 1
+	)
+	if !opts.DisableHeuristic {
+		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &totalIters); ok {
+			bestObj, bestX = hobj, hx
+		}
+	}
+	queue = &nodeQueue{}
+	heap.Init(queue)
+	heap.Push(queue, &node{lo: lo, hi: hi, bound: obj, depth: 0})
+
+	// Best-first over the open queue with depth-first plunging inside
+	// each popped node: following one child chain all the way down
+	// finds integer incumbents orders of magnitude faster than pure
+	// best-first on placement models.
+	const plungeLimit = 256
+	for queue.Len() > 0 {
+		nd := heap.Pop(queue).(*node)
+		if nd.bound >= bestObj-1e-9 {
+			continue // pruned by incumbent
+		}
+		cur := nd
+		for steps := 0; cur != nil && steps < plungeLimit; steps++ {
+			if nodes >= nodeLimit || (!deadline.IsZero() && time.Now().After(deadline)) {
+				return finish(StatusLimit, bestObj, bestX, nodes), nil
+			}
+			nodes++
+			st, obj, x, iters, err := solveLP(sf, cur.lo, cur.hi, iterLimit, cur.hint)
+			totalIters += iters
+			if err != nil {
+				return nil, err
+			}
+			if st != lpOptimal || obj >= bestObj-1e-9 {
+				break // infeasible or dominated subtree
+			}
+			if integral(sf, x) {
+				bestObj, bestX = obj, x
+				break
+			}
+			j := fractionalVar(sf, x)
+			if j < 0 {
+				break
+			}
+			floor := math.Floor(x[j])
+			frac := x[j] - floor
+			down := child(cur, j, cur.lo[j], math.Min(cur.hi[j], floor), obj, x)
+			up := child(cur, j, math.Max(cur.lo[j], floor+1), cur.hi[j], obj, x)
+			// Follow the side the LP leans toward; queue the other.
+			follow, defer_ := down, up
+			if frac > 0.5 {
+				follow, defer_ = up, down
+			}
+			if defer_ != nil {
+				heap.Push(queue, defer_)
+			}
+			cur = follow
+		}
+		if opts.Gap > 0 && bestX != nil && queue.Len() > 0 {
+			if relGap(bestObj, (*queue)[0].bound) <= opts.Gap {
+				return finish(StatusOptimal, bestObj, bestX, nodes), nil
+			}
+		}
+	}
+	if bestX == nil {
+		return finish(StatusInfeasible, 0, nil, nodes), nil
+	}
+	return finish(StatusOptimal, bestObj, bestX, nodes), nil
+}
+
+func relGap(best, bound float64) float64 {
+	den := math.Max(1, math.Abs(best))
+	return math.Abs(best-bound) / den
+}
+
+// integral reports whether all integer variables take integral values.
+func integral(sf *standardForm, x []float64) bool {
+	for j, isInt := range sf.intVar {
+		if !isInt {
+			continue
+		}
+		if math.Abs(x[j]-math.Round(x[j])) > intTol {
+			return false
+		}
+	}
+	return true
+}
+
+// fractionalVar picks the branching variable: among fractional integer
+// variables, the highest declared priority class wins, most-fractional
+// within it. Returns -1 if integral.
+func fractionalVar(sf *standardForm, x []float64) int {
+	best, bestScore, bestPri := -1, -1.0, math.MinInt
+	for j, isInt := range sf.intVar {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		frac := math.Min(f, 1-f)
+		if frac <= intTol {
+			continue
+		}
+		pri := sf.branch[j]
+		if pri > bestPri || (pri == bestPri && frac > bestScore) {
+			bestPri = pri
+			bestScore = frac
+			best = j
+		}
+	}
+	return best
+}
+
+// child builds the subproblem of parent with variable j's bounds
+// narrowed to [newLo, newHi]; nil when the domain would be empty.
+func child(parent *node, j int, newLo, newHi, bound float64, hint []float64) *node {
+	if newLo > newHi {
+		return nil
+	}
+	lo := append([]float64(nil), parent.lo...)
+	hi := append([]float64(nil), parent.hi...)
+	lo[j], hi[j] = newLo, newHi
+	return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, hint: hint}
+}
+
+// diveHeuristic repeatedly fixes the least-fractional integer variable
+// to its rounded value and re-solves, hoping to land on an integer
+// feasible incumbent quickly.
+func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, totalIters *int) ([]float64, float64, bool) {
+	lo = append([]float64(nil), lo...)
+	hi = append([]float64(nil), hi...)
+	x := x0
+	for depth := 0; depth < 4*len(sf.intVar)+8; depth++ {
+		if integral(sf, x) {
+			obj := 0.0
+			for j := 0; j < sf.nStruct; j++ {
+				obj += sf.cost[j] * x[j]
+			}
+			return x, obj, true
+		}
+		// Fix the variable closest to an integer.
+		bestJ, bestFrac := -1, 2.0
+		for j, isInt := range sf.intVar {
+			if !isInt {
+				continue
+			}
+			f := x[j] - math.Floor(x[j])
+			frac := math.Min(f, 1-f)
+			if frac <= intTol {
+				continue
+			}
+			if frac < bestFrac {
+				bestFrac = frac
+				bestJ = j
+			}
+		}
+		if bestJ < 0 {
+			return nil, 0, false
+		}
+		r := math.Round(x[bestJ])
+		r = math.Min(math.Max(r, lo[bestJ]), hi[bestJ])
+		lo[bestJ], hi[bestJ] = r, r
+		st, _, nx, iters, err := solveLP(sf, lo, hi, iterLimit, x)
+		*totalIters += iters
+		if err != nil || st != lpOptimal {
+			return nil, 0, false
+		}
+		x = nx
+	}
+	return nil, 0, false
+}
+
+// Verify checks that the assignment satisfies every constraint and
+// bound of the model within tolerance, returning a descriptive error
+// for the first violation. It is used by tests and by the compiler's
+// own paranoia checks.
+func Verify(m *Model, values []float64) error {
+	if len(values) != len(m.vars) {
+		return fmt.Errorf("ilp: assignment has %d values for %d variables", len(values), len(m.vars))
+	}
+	for i, v := range m.vars {
+		x := values[i]
+		if x < v.lo-1e-5 || x > v.hi+1e-5 {
+			return fmt.Errorf("ilp: variable %s = %g violates bounds [%g, %g]", v.name, x, v.lo, v.hi)
+		}
+		if v.typ != Continuous && math.Abs(x-math.Round(x)) > 1e-5 {
+			return fmt.Errorf("ilp: variable %s = %g is not integral", v.name, x)
+		}
+	}
+	for _, c := range m.constrs {
+		lhs := c.expr.Eval(values)
+		scale := 1.0
+		for _, coef := range c.expr.coef {
+			scale = math.Max(scale, math.Abs(coef))
+		}
+		tol := 1e-5 * scale
+		ok := false
+		switch c.op {
+		case LE:
+			ok = lhs <= c.rhs+tol
+		case GE:
+			ok = lhs >= c.rhs-tol
+		case EQ:
+			ok = almostEqual(lhs, c.rhs, tol)
+		}
+		if !ok {
+			return fmt.Errorf("ilp: constraint %s violated: %g %s %g", c.name, lhs, c.op, c.rhs)
+		}
+	}
+	return nil
+}
+
+// SolveRootLP solves only the LP relaxation (diagnostics and ablation
+// benchmarks).
+func SolveRootLP(m *Model) (*Solution, error) {
+	sf, err := lowerModel(m)
+	if err != nil {
+		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr
+	}
+	lo, hi := sf.cloneBounds()
+	st, obj, x, iters, err := solveLP(sf, lo, hi, defaultIterLimit, nil)
+	if err != nil {
+		return nil, err
+	}
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	sol := &Solution{Nodes: 1, SimplexIters: iters}
+	switch st {
+	case lpInfeasible:
+		sol.Status = StatusInfeasible
+	case lpUnbounded:
+		sol.Status = StatusUnbounded
+	default:
+		sol.Status = StatusOptimal
+		sol.Values = x
+		sol.Objective = sign * (obj + sf.objK)
+		sol.RootBound = sol.Objective
+	}
+	return sol, nil
+}

@@ -1,0 +1,297 @@
+// Package ilp provides a pure-Go linear and (mixed-)integer linear
+// program solver. It replaces the Gurobi Optimizer used by the P4All
+// paper's prototype: the P4All compiler builds a Model mirroring the
+// paper's Figure 10 formulation and asks Solve for an optimal integer
+// assignment.
+//
+// The LP relaxations are solved with a bounded-variable revised primal
+// simplex (explicit basis inverse, two-phase start with on-demand
+// artificials, Dantzig pricing with a Bland anti-cycling fallback, and
+// periodic refactorization). Integrality is enforced by best-first
+// branch and bound with most-fractional branching and a diving
+// heuristic for early incumbents.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// VarType describes the domain of a decision variable.
+type VarType int
+
+const (
+	// Continuous variables range over the reals within their bounds.
+	Continuous VarType = iota
+	// Integer variables must take integral values within their bounds.
+	Integer
+	// Binary variables are integer variables with bounds [0, 1].
+	Binary
+)
+
+func (t VarType) String() string {
+	switch t {
+	case Continuous:
+		return "continuous"
+	case Integer:
+		return "integer"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("VarType(%d)", int(t))
+	}
+}
+
+// Sense selects the optimization direction of the objective.
+type Sense int
+
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+func (s Sense) String() string {
+	if s == Maximize {
+		return "maximize"
+	}
+	return "minimize"
+}
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	// LE constrains an expression to be at most the right-hand side.
+	LE Op = iota
+	// GE constrains an expression to be at least the right-hand side.
+	GE
+	// EQ constrains an expression to equal the right-hand side.
+	EQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Inf is the bound value representing "unbounded".
+var Inf = math.Inf(1)
+
+// Var identifies a decision variable within its Model.
+type Var int
+
+// varData stores a variable's definition.
+type varData struct {
+	name string
+	lo   float64
+	hi   float64
+	typ  VarType
+	pri  int // branching priority (higher branches first)
+}
+
+// constrData stores one linear constraint: expr op rhs.
+type constrData struct {
+	name string
+	expr Expr
+	op   Op
+	rhs  float64
+}
+
+// Model is a mutable linear/integer program under construction.
+// A Model is not safe for concurrent mutation.
+type Model struct {
+	name    string
+	vars    []varData
+	constrs []constrData
+	obj     Expr
+	sense   Sense
+}
+
+// NewModel returns an empty model with the given diagnostic name.
+func NewModel(name string) *Model {
+	return &Model{name: name, sense: Minimize}
+}
+
+// Name returns the model's diagnostic name.
+func (m *Model) Name() string { return m.name }
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstrs returns the number of constraints added so far.
+func (m *Model) NumConstrs() int { return len(m.constrs) }
+
+// AddVar adds a decision variable with bounds [lo, hi]. Binary
+// variables have their bounds clamped to [0, 1]. Lo must be finite and
+// must not exceed hi.
+func (m *Model) AddVar(name string, lo, hi float64, typ VarType) Var {
+	if typ == Binary {
+		lo = math.Max(lo, 0)
+		hi = math.Min(hi, 1)
+	}
+	if math.IsInf(lo, -1) || math.IsNaN(lo) {
+		panic(fmt.Sprintf("ilp: variable %q requires a finite lower bound, got %v", name, lo))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: variable %q has empty domain [%g, %g]", name, lo, hi))
+	}
+	m.vars = append(m.vars, varData{name: name, lo: lo, hi: hi, typ: typ})
+	return Var(len(m.vars) - 1)
+}
+
+// AddBinary adds a binary variable.
+func (m *Model) AddBinary(name string) Var { return m.AddVar(name, 0, 1, Binary) }
+
+// AddInt adds an integer variable with bounds [lo, hi].
+func (m *Model) AddInt(name string, lo, hi float64) Var { return m.AddVar(name, lo, hi, Integer) }
+
+// VarName returns the name given to v when it was added.
+func (m *Model) VarName(v Var) string { return m.vars[v].name }
+
+// VarBounds returns the bounds of v.
+func (m *Model) VarBounds(v Var) (lo, hi float64) { return m.vars[v].lo, m.vars[v].hi }
+
+// VarType returns the declared type of v.
+func (m *Model) VarType(v Var) VarType { return m.vars[v].typ }
+
+// SetBranchPriority marks v as preferred for branching: among
+// fractional integer variables, those with the highest priority are
+// branched on first. Default priority is 0.
+func (m *Model) SetBranchPriority(v Var, pri int) {
+	m.vars[v].pri = pri
+}
+
+// SetBounds replaces the bounds of v.
+func (m *Model) SetBounds(v Var, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: variable %q given empty domain [%g, %g]", m.vars[v].name, lo, hi))
+	}
+	m.vars[v].lo, m.vars[v].hi = lo, hi
+}
+
+// AddConstr adds the linear constraint "expr op rhs". The expression's
+// constant term is folded into the right-hand side.
+func (m *Model) AddConstr(name string, expr Expr, op Op, rhs float64) {
+	for v := range expr.coef {
+		if int(v) < 0 || int(v) >= len(m.vars) {
+			panic(fmt.Sprintf("ilp: constraint %q references unknown variable %d", name, v))
+		}
+	}
+	rhs -= expr.konst
+	e := expr.clone()
+	e.konst = 0
+	m.constrs = append(m.constrs, constrData{name: name, expr: e, op: op, rhs: rhs})
+}
+
+// SetObjective sets the objective expression and direction. The
+// expression's constant term is preserved and added to reported
+// objective values.
+func (m *Model) SetObjective(expr Expr, sense Sense) {
+	m.obj = expr.clone()
+	m.sense = sense
+}
+
+// Objective returns the current objective expression and sense.
+func (m *Model) Objective() (Expr, Sense) { return m.obj.clone(), m.sense }
+
+// String renders the model in an LP-like text format, useful in tests
+// and debugging. Large models render only a summary header.
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s: %d vars, %d constrs, %s\n", m.name, len(m.vars), len(m.constrs), m.sense)
+	if len(m.vars) > 64 || len(m.constrs) > 64 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  obj: %s\n", m.obj.format(m))
+	for _, c := range m.constrs {
+		fmt.Fprintf(&b, "  %s: %s %s %g\n", c.name, c.expr.format(m), c.op, c.rhs)
+	}
+	for i, v := range m.vars {
+		fmt.Fprintf(&b, "  var %s in [%g, %g] %s (x%d)\n", v.name, v.lo, v.hi, v.typ, i)
+	}
+	return b.String()
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusOptimal means an optimal (integer-feasible for MIPs)
+	// solution was found and proven optimal within tolerances.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the problem has no feasible solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded in the
+	// optimization direction.
+	StatusUnbounded
+	// StatusLimit means a node, iteration, or time limit stopped the
+	// search; Solution.Values holds the incumbent if one was found.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of solving a model.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective value in the model's own sense
+	Values    []float64 // one entry per variable, indexed by Var
+	// Nodes is the number of branch-and-bound nodes processed
+	// (1 for pure LPs).
+	Nodes int
+	// SimplexIters is the total simplex iteration count across all
+	// LP solves.
+	SimplexIters int
+	// RootBound is the root LP relaxation objective in the model's
+	// sense (a bound on the best possible integer objective).
+	RootBound float64
+	// BestBound is the tightest proven bound on the optimum at
+	// termination (equals Objective when optimality was proven).
+	BestBound float64
+}
+
+// AchievedGap returns |Objective - BestBound| / max(1, |Objective|),
+// the certified optimality gap of the returned solution.
+func (s *Solution) AchievedGap() float64 {
+	if s.Values == nil {
+		return math.Inf(1)
+	}
+	den := math.Max(1, math.Abs(s.Objective))
+	return math.Abs(s.Objective-s.BestBound) / den
+}
+
+// Value returns the solution value of v, rounded to the nearest
+// integer for integer-typed variables.
+func (s *Solution) Value(v Var) float64 {
+	if s.Values == nil {
+		return math.NaN()
+	}
+	return s.Values[v]
+}
+
+// IntValue returns the solution value of v rounded to the nearest int.
+func (s *Solution) IntValue(v Var) int {
+	return int(math.Round(s.Value(v)))
+}

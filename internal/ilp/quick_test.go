@@ -1,0 +1,278 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBinaryMIP builds a random binary program from the rng: n
+// variables, a handful of <=/>=/== constraints with small integer
+// coefficients, and a random objective.
+func randomBinaryMIP(rng *rand.Rand, n int) *Model {
+	m := NewModel("random")
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = m.AddBinary("b")
+	}
+	rows := 1 + rng.Intn(4)
+	for r := 0; r < rows; r++ {
+		e := NewExpr()
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				e.Add(v, float64(rng.Intn(7)-3))
+			}
+		}
+		op := []Op{LE, GE, EQ}[rng.Intn(3)]
+		rhs := float64(rng.Intn(9) - 4)
+		if op == EQ {
+			// Keep equalities loose enough to be frequently feasible.
+			rhs = float64(rng.Intn(5) - 2)
+		}
+		m.AddConstr("r", e, op, rhs)
+	}
+	obj := NewExpr()
+	for _, v := range vars {
+		obj.Add(v, float64(rng.Intn(11)-5))
+	}
+	sense := Minimize
+	if rng.Intn(2) == 0 {
+		sense = Maximize
+	}
+	m.SetObjective(obj, sense)
+	return m
+}
+
+// bruteForceBinary exhaustively optimizes a pure-binary model.
+func bruteForceBinary(m *Model) (best float64, found bool) {
+	n := m.NumVars()
+	values := make([]float64, n)
+	obj, sense := m.Objective()
+	best = math.Inf(1)
+	if sense == Maximize {
+		best = math.Inf(-1)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			values[i] = float64((mask >> i) & 1)
+		}
+		if Verify(m, values) != nil {
+			continue
+		}
+		v := obj.Eval(values)
+		if (sense == Maximize && v > best) || (sense == Minimize && v < best) {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+func TestQuickBinaryMIPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + local.Intn(8)
+		m := randomBinaryMIP(local, n)
+		want, feasible := bruteForceBinary(m)
+		sol, err := Solve(m, Options{})
+		if err != nil {
+			t.Logf("seed %d: Solve error: %v", seed, err)
+			return false
+		}
+		if !feasible {
+			if sol.Status != StatusInfeasible {
+				t.Logf("seed %d: want infeasible, got %v obj %g\n%s", seed, sol.Status, sol.Objective, m)
+				return false
+			}
+			return true
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("seed %d: want optimal, got %v\n%s", seed, sol.Status, m)
+			return false
+		}
+		if !almostEqual(sol.Objective, want, 1e-5*math.Max(1, math.Abs(want))) {
+			t.Logf("seed %d: objective %g, brute force %g\n%s", seed, sol.Objective, want, m)
+			return false
+		}
+		if err := Verify(m, sol.Values); err != nil {
+			t.Logf("seed %d: solution not feasible: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKnapsackMatchesDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		wts := make([]int, n)
+		vals := make([]int, n)
+		for i := range wts {
+			wts[i] = 1 + rng.Intn(12)
+			vals[i] = 1 + rng.Intn(20)
+		}
+		cap := 5 + rng.Intn(30)
+
+		// DP reference.
+		dp := make([]int, cap+1)
+		for i := 0; i < n; i++ {
+			for c := cap; c >= wts[i]; c-- {
+				if v := dp[c-wts[i]] + vals[i]; v > dp[c] {
+					dp[c] = v
+				}
+			}
+		}
+		want := dp[cap]
+
+		m := NewModel("knap")
+		wexpr := NewExpr()
+		obj := NewExpr()
+		for i := 0; i < n; i++ {
+			v := m.AddBinary("x")
+			wexpr.Add(v, float64(wts[i]))
+			obj.Add(v, float64(vals[i]))
+		}
+		m.AddConstr("cap", wexpr, LE, float64(cap))
+		m.SetObjective(obj, Maximize)
+		sol, err := Solve(m, Options{})
+		if err != nil || sol.Status != StatusOptimal {
+			t.Logf("seed %d: status %v err %v", seed, sol.Status, err)
+			return false
+		}
+		if int(math.Round(sol.Objective)) != want {
+			t.Logf("seed %d: objective %g, DP %d", seed, sol.Objective, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLPFeasibleAndBoundTight(t *testing.T) {
+	// For random LPs, the returned solution must satisfy Verify, and
+	// no random feasible sample may beat it (one-sided optimality
+	// evidence that needs no dual computation).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := NewModel("lp")
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = m.AddVar("x", 0, float64(1+rng.Intn(9)), Continuous)
+		}
+		rows := 1 + rng.Intn(4)
+		for r := 0; r < rows; r++ {
+			e := NewExpr()
+			for _, v := range vars {
+				e.Add(v, float64(rng.Intn(9)-4))
+			}
+			op := []Op{LE, GE}[rng.Intn(2)]
+			m.AddConstr("r", e, op, float64(rng.Intn(21)-10))
+		}
+		obj := NewExpr()
+		for _, v := range vars {
+			obj.Add(v, float64(rng.Intn(9)-4))
+		}
+		m.SetObjective(obj, Maximize)
+
+		sol, err := Solve(m, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		switch sol.Status {
+		case StatusOptimal:
+		case StatusInfeasible:
+			// Spot-check: no random sample should be feasible.
+			values := make([]float64, n)
+			for trial := 0; trial < 500; trial++ {
+				for i, v := range vars {
+					_, hi := m.VarBounds(v)
+					values[i] = rng.Float64() * hi
+				}
+				if Verify(m, values) == nil {
+					t.Logf("seed %d: declared infeasible but %v is feasible", seed, values)
+					return false
+				}
+			}
+			return true
+		default:
+			t.Logf("seed %d: unexpected status %v", seed, sol.Status)
+			return false
+		}
+		if err := Verify(m, sol.Values); err != nil {
+			t.Logf("seed %d: solution infeasible: %v", seed, err)
+			return false
+		}
+		objExpr, _ := m.Objective()
+		values := make([]float64, n)
+		for trial := 0; trial < 300; trial++ {
+			for i, v := range vars {
+				_, hi := m.VarBounds(v)
+				values[i] = rng.Float64() * hi
+			}
+			if Verify(m, values) != nil {
+				continue
+			}
+			if objExpr.Eval(values) > sol.Objective+1e-5 {
+				t.Logf("seed %d: sample %v beats reported optimum %g", seed, values, sol.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSmallIntegerProgramsGrid(t *testing.T) {
+	// Integer (non-binary) variables with small ranges vs grid search.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel("grid")
+		x := m.AddInt("x", 0, 6)
+		y := m.AddInt("y", 0, 6)
+		a := float64(1 + rng.Intn(4))
+		b := float64(1 + rng.Intn(4))
+		cap := float64(3 + rng.Intn(20))
+		e := NewExpr()
+		e.Add(x, a).Add(y, b)
+		m.AddConstr("cap", e, LE, cap)
+		cx := float64(rng.Intn(7) - 3)
+		cy := float64(rng.Intn(7) - 3)
+		obj := NewExpr()
+		obj.Add(x, cx).Add(y, cy)
+		m.SetObjective(obj, Maximize)
+
+		want := math.Inf(-1)
+		for i := 0.0; i <= 6; i++ {
+			for j := 0.0; j <= 6; j++ {
+				if a*i+b*j <= cap && cx*i+cy*j > want {
+					want = cx*i + cy*j
+				}
+			}
+		}
+		sol, err := Solve(m, Options{})
+		if err != nil || sol.Status != StatusOptimal {
+			t.Logf("seed %d: status %v err %v", seed, sol.Status, err)
+			return false
+		}
+		if !almostEqual(sol.Objective, want, 1e-6) {
+			t.Logf("seed %d: got %g want %g", seed, sol.Objective, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,790 @@
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The simplex implementation solves LPs of the internal standard form
+//
+//	minimize   c·x
+//	subject to A·x (op) b,   lo <= x <= hi
+//
+// using a bounded-variable revised primal simplex with an explicitly
+// maintained basis inverse. Inequalities become equalities via one
+// slack column per row; rows whose slack cannot absorb the initial
+// residual receive an artificial column, and a phase-1 objective drives
+// total artificial mass to zero before the real objective is optimized.
+
+const (
+	feasTol  = 1e-7 // bound/feasibility tolerance
+	pivotTol = 1e-9 // minimum acceptable pivot magnitude
+	dualTol  = 1e-7 // reduced-cost optimality tolerance
+	// stallLimit is the number of non-improving iterations tolerated
+	// before switching to Bland's rule to escape degenerate cycling.
+	stallLimit = 256
+)
+
+// refactorEvery bounds how many pivots may elapse between full
+// recomputations of the basis inverse (variable so debug runs can
+// refactorize aggressively).
+var refactorEvery = 128
+
+var errSingularBasis = errors.New("ilp: singular basis during refactorization")
+
+// errNumerical signals accumulated numerical drift; the driver retries
+// with a tighter refactorization cadence.
+var errNumerical = errors.New("ilp: numerical drift detected")
+
+// spCol is one sparse column of the constraint matrix.
+type spCol struct {
+	ind []int32
+	val []float64
+}
+
+// standardForm is a model lowered for the simplex: structural columns
+// first, one slack column per row appended by the solver itself.
+type standardForm struct {
+	nStruct int       // number of structural (model) columns
+	m       int       // number of rows
+	cols    []spCol   // structural columns only, length nStruct
+	ops     []Op      // per-row comparison before slack introduction
+	b       []float64 // right-hand sides (row-scaled)
+	lo, hi  []float64 // structural bounds, length nStruct
+	cost    []float64 // structural minimization costs
+	objK    float64   // objective constant
+	intVar  []bool    // structural integrality markers
+	branch  []int     // branching priority per structural column
+}
+
+// lowerModel converts a Model into standardForm, negating the objective
+// for maximization and applying row equilibration scaling.
+func lowerModel(m *Model) (*standardForm, error) {
+	sf := &standardForm{
+		nStruct: len(m.vars),
+		m:       len(m.constrs),
+		cols:    make([]spCol, len(m.vars)),
+		ops:     make([]Op, len(m.constrs)),
+		b:       make([]float64, len(m.constrs)),
+		lo:      make([]float64, len(m.vars)),
+		hi:      make([]float64, len(m.vars)),
+		cost:    make([]float64, len(m.vars)),
+		intVar:  make([]bool, len(m.vars)),
+		branch:  make([]int, len(m.vars)),
+	}
+	for j, v := range m.vars {
+		sf.lo[j], sf.hi[j] = v.lo, v.hi
+		sf.intVar[j] = v.typ != Continuous
+		sf.branch[j] = v.pri
+	}
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	for v, c := range m.obj.coef {
+		sf.cost[v] = sign * c
+	}
+	sf.objK = sign * m.obj.konst
+	rows := 0
+	for _, c := range m.constrs {
+		// Row scaling: divide by the largest coefficient magnitude.
+		scale := 0.0
+		for _, coef := range c.expr.coef {
+			scale = math.Max(scale, math.Abs(coef))
+		}
+		if scale == 0 {
+			// Constant row: check satisfiability directly, then drop.
+			ok := true
+			switch c.op {
+			case LE:
+				ok = 0 <= c.rhs+feasTol
+			case GE:
+				ok = 0 >= c.rhs-feasTol
+			case EQ:
+				ok = almostEqual(0, c.rhs, feasTol)
+			}
+			if !ok {
+				return nil, fmt.Errorf("ilp: constraint %q is trivially infeasible", c.name)
+			}
+			continue
+		}
+		if presolveEnabled && c.expr.Len() == 1 {
+			// Singleton row: fold into the variable's bounds.
+			var v Var
+			var a float64
+			c.expr.Terms(func(tv Var, coef float64) { v, a = tv, coef })
+			if foldSingleton(sf, v, a, c.op, c.rhs) {
+				if sf.lo[v] > sf.hi[v]+feasTol {
+					return nil, fmt.Errorf("ilp: constraint %q empties the domain of %s", c.name, m.vars[v].name)
+				}
+				continue
+			}
+		}
+		i := rows
+		rows++
+		sf.ops[i] = c.op
+		sf.b[i] = c.rhs / scale
+		c.expr.Terms(func(v Var, coef float64) {
+			col := &sf.cols[v]
+			col.ind = append(col.ind, int32(i))
+			col.val = append(col.val, coef/scale)
+		})
+	}
+	sf.m = rows
+	sf.ops = sf.ops[:rows]
+	sf.b = sf.b[:rows]
+	return sf, nil
+}
+
+// presolveEnabled toggles the singleton-row presolve (ablations only).
+var presolveEnabled = true
+
+// SetPresolve toggles the singleton-row presolve.
+func SetPresolve(on bool) { presolveEnabled = on }
+
+// foldSingleton tightens v's bounds with "a*v op rhs"; reports whether
+// the row may be dropped.
+func foldSingleton(sf *standardForm, v Var, a float64, op Op, rhs float64) bool {
+	bound := rhs / a
+	tightLo := func(x float64) {
+		if sf.intVar[v] {
+			x = math.Ceil(x - intTol)
+		}
+		if x > sf.lo[v] {
+			sf.lo[v] = x
+		}
+	}
+	tightHi := func(x float64) {
+		if sf.intVar[v] {
+			x = math.Floor(x + intTol)
+		}
+		if x < sf.hi[v] {
+			sf.hi[v] = x
+		}
+	}
+	switch {
+	case op == EQ:
+		tightLo(bound)
+		tightHi(bound)
+	case (op == LE) == (a > 0): // a*v <= rhs with a>0, or a*v >= rhs with a<0
+		tightHi(bound)
+	default:
+		tightLo(bound)
+	}
+	return true
+}
+
+// clone duplicates the bound vectors (the only per-node mutable state)
+// while sharing the immutable matrix.
+func (sf *standardForm) cloneBounds() (lo, hi []float64) {
+	lo = append([]float64(nil), sf.lo...)
+	hi = append([]float64(nil), sf.hi...)
+	return lo, hi
+}
+
+const (
+	nbLower int8 = iota
+	nbUpper
+	inBasis
+)
+
+type simplex struct {
+	sf       *standardForm
+	n        int // total columns: struct + slack + artificial
+	nSlack   int
+	cols     []spCol // all columns
+	lo, hi   []float64
+	cost     []float64
+	status   []int8
+	basis    []int32
+	binv     [][]float64
+	xB       []float64
+	iters    int
+	pivots   int // pivots since last refactorization
+	refEvery int // refactorization cadence for this attempt
+}
+
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+)
+
+// solveLP solves the standard form with the given structural bounds
+// (which may be tighter than sf's own, e.g. from branch and bound).
+// It returns the LP status, objective value (minimization sense,
+// without objK), structural solution values, and iteration count.
+// Numerical drift detected at a refactorization triggers a retry with
+// a tighter refactorization cadence.
+// hint, when non-nil, is a (near-)feasible point — typically the
+// parent node's LP solution — used to warm the initial nonbasic bound
+// assignment.
+func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64) (lpStatus, float64, []float64, int, error) {
+	totalIters := 0
+	for _, cadence := range []int{refactorEvery, 16, 4, 1} {
+		st, obj, x, iters, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint)
+		totalIters += iters
+		if errors.Is(err, errNumerical) || errors.Is(err, errSingularBasis) {
+			continue
+		}
+		return st, obj, x, totalIters, err
+	}
+	return lpInfeasible, 0, nil, totalIters, errNumerical
+}
+
+func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64) (lpStatus, float64, []float64, int, error) {
+	m := sf.m
+	s := &simplex{
+		sf:       sf,
+		nSlack:   m,
+		basis:    make([]int32, m),
+		xB:       make([]float64, m),
+		refEvery: cadence,
+	}
+	n := sf.nStruct + m
+	s.cols = make([]spCol, n, n+m)
+	copy(s.cols, sf.cols)
+	s.lo = make([]float64, n, n+m)
+	s.hi = make([]float64, n, n+m)
+	s.cost = make([]float64, n, n+m)
+	s.status = make([]int8, n, n+m)
+	copy(s.lo, lo)
+	copy(s.hi, hi)
+	for j := 0; j < sf.nStruct; j++ {
+		if s.lo[j] > s.hi[j]+feasTol {
+			return lpInfeasible, 0, nil, 0, nil
+		}
+		// Nonbasic structurals start at the bound nearest the hint
+		// (the parent LP solution in branch and bound), else lower.
+		s.status[j] = nbLower
+		if hint != nil && j < len(hint) && !math.IsInf(s.hi[j], 1) &&
+			math.Abs(hint[j]-s.hi[j]) < math.Abs(hint[j]-s.lo[j]) {
+			s.status[j] = nbUpper
+		}
+	}
+	// Slack columns.
+	for i := 0; i < m; i++ {
+		j := sf.nStruct + i
+		s.cols[j] = spCol{ind: []int32{int32(i)}, val: []float64{1}}
+		switch sf.ops[i] {
+		case LE:
+			s.lo[j], s.hi[j] = 0, Inf
+		case GE:
+			s.lo[j], s.hi[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.hi[j] = 0, 0
+		}
+	}
+	s.n = n
+	// Initial basis: slack where the residual fits its bounds,
+	// otherwise an artificial column absorbing the residual.
+	resid := make([]float64, m)
+	copy(resid, sf.b)
+	for j := 0; j < sf.nStruct; j++ {
+		x := s.nbValue(j)
+		if x == 0 {
+			continue
+		}
+		col := &s.cols[j]
+		for k, r := range col.ind {
+			resid[r] -= col.val[k] * x
+		}
+	}
+	s.binv = make([][]float64, m)
+	anyArtificial := false
+	for i := 0; i < m; i++ {
+		s.binv[i] = make([]float64, m)
+		j := sf.nStruct + i
+		r := resid[i]
+		if r >= s.lo[j]-feasTol && r <= s.hi[j]+feasTol {
+			s.basis[i] = int32(j)
+			s.status[j] = inBasis
+			s.xB[i] = r
+			s.binv[i][i] = 1
+			continue
+		}
+		// Slack nonbasic at its nearest bound; artificial takes the rest.
+		sval := math.Min(math.Max(r, s.lo[j]), s.hi[j])
+		if math.IsInf(sval, 0) {
+			// Cannot happen: the violated bound is always finite.
+			return lpInfeasible, 0, nil, 0, fmt.Errorf("ilp: internal: infinite slack bound hit on row %d", i)
+		}
+		if sval == s.lo[j] {
+			s.status[j] = nbLower
+		} else {
+			s.status[j] = nbUpper
+		}
+		rr := r - sval
+		sign := 1.0
+		if rr < 0 {
+			sign = -1
+		}
+		a := len(s.cols)
+		s.cols = append(s.cols, spCol{ind: []int32{int32(i)}, val: []float64{sign}})
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, Inf)
+		s.cost = append(s.cost, 0)
+		s.status = append(s.status, inBasis)
+		s.basis[i] = int32(a)
+		s.xB[i] = math.Abs(rr)
+		s.binv[i][i] = sign
+		anyArtificial = true
+	}
+	s.n = len(s.cols)
+
+	if anyArtificial {
+		// Phase 1: minimize total artificial mass.
+		p1 := make([]float64, s.n)
+		for j := sf.nStruct + m; j < s.n; j++ {
+			p1[j] = 1
+		}
+		s.cost = p1
+		st, err := s.iterate(iterLimit)
+		if err != nil {
+			return lpInfeasible, 0, nil, s.iters, err
+		}
+		if st == lpUnbounded {
+			return lpInfeasible, 0, nil, s.iters, errors.New("ilp: internal: phase-1 unbounded")
+		}
+		if s.objValue() > 1e-6 {
+			return lpInfeasible, 0, nil, s.iters, nil
+		}
+		// Pin artificials at zero.
+		for j := sf.nStruct + m; j < s.n; j++ {
+			s.hi[j] = 0
+		}
+	}
+	// Phase 2 costs: structural costs from the model; slacks and
+	// artificials cost zero.
+	s.cost = make([]float64, s.n)
+	copy(s.cost, sf.cost)
+
+	st, err := s.iterate(iterLimit)
+	if err != nil {
+		return lpInfeasible, 0, nil, s.iters, err
+	}
+	if st == lpUnbounded {
+		return lpUnbounded, 0, nil, s.iters, nil
+	}
+	// Extract structural values.
+	if err := s.refactorize(); err != nil {
+		return lpInfeasible, 0, nil, s.iters, err
+	}
+	if debugChecks {
+		for i, bj := range s.basis {
+			if s.xB[i] < s.lo[bj]-1e-6 || s.xB[i] > s.hi[bj]+1e-6 {
+				panic(fmt.Sprintf("ilp: basic col %d (row %d) = %g outside [%g, %g]", bj, i, s.xB[i], s.lo[bj], s.hi[bj]))
+			}
+		}
+	}
+	x := make([]float64, sf.nStruct)
+	for j := 0; j < sf.nStruct; j++ {
+		if s.status[j] != inBasis {
+			x[j] = s.nbValue(j)
+		}
+	}
+	for i, bj := range s.basis {
+		if int(bj) < sf.nStruct {
+			x[bj] = s.xB[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < sf.nStruct; j++ {
+		obj += sf.cost[j] * x[j]
+	}
+	return lpOptimal, obj, x, s.iters, nil
+}
+
+// nbValue returns the value a nonbasic column takes at its current bound.
+func (s *simplex) nbValue(j int) float64 {
+	if s.status[j] == nbUpper {
+		return s.hi[j]
+	}
+	return s.lo[j]
+}
+
+// objValue computes the current objective under s.cost.
+func (s *simplex) objValue() float64 {
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if s.status[j] != inBasis {
+			obj += s.cost[j] * s.nbValue(j)
+		}
+	}
+	for i, bj := range s.basis {
+		obj += s.cost[bj] * s.xB[i]
+	}
+	return obj
+}
+
+// iterate runs primal simplex iterations until optimality,
+// unboundedness, or the iteration limit.
+func (s *simplex) iterate(iterLimit int) (lpStatus, error) {
+	m := s.sf.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	bland := false
+	stall := 0
+	lastObj := math.Inf(1)
+	// Columns banned after a near-singular pivot attempt; cleared on
+	// the next successful step.
+	banned := make(map[int]bool)
+	retriedAfterBan := false
+	for {
+		if iterLimit > 0 && s.iters >= iterLimit {
+			return lpOptimal, fmt.Errorf("ilp: simplex iteration limit (%d) exceeded", iterLimit)
+		}
+		s.iters++
+		// Duals: y = cB^T · Binv.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for k := 0; k < m; k++ {
+			cb := s.cost[s.basis[k]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[k]
+			for i := 0; i < m; i++ {
+				y[i] += cb * row[i]
+			}
+		}
+		// Pricing.
+		enter := -1
+		best := dualTol
+		for j := 0; j < s.n; j++ {
+			st := s.status[j]
+			if st == inBasis || banned[j] {
+				continue
+			}
+			if s.lo[j] == s.hi[j] { // fixed column can never improve
+				continue
+			}
+			col := &s.cols[j]
+			d := s.cost[j]
+			for k, r := range col.ind {
+				d -= y[r] * col.val[k]
+			}
+			var viol float64
+			if st == nbLower && d < -dualTol {
+				viol = -d
+			} else if st == nbUpper && d > dualTol {
+				viol = d
+			} else {
+				continue
+			}
+			if bland {
+				enter = j
+				break
+			}
+			if viol > best {
+				best = viol
+				enter = j
+			}
+		}
+		if enter == -1 {
+			if len(banned) > 0 && !retriedAfterBan {
+				// Re-examine banned columns once against a freshly
+				// refactorized basis before declaring optimality.
+				if err := s.refactorize(); err != nil {
+					return lpOptimal, err
+				}
+				banned = make(map[int]bool)
+				retriedAfterBan = true
+				continue
+			}
+			return lpOptimal, nil
+		}
+		// Direction w = Binv · A_enter.
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		colE := &s.cols[enter]
+		for k, r := range colE.ind {
+			v := colE.val[k]
+			for i := 0; i < m; i++ {
+				w[i] += s.binv[i][r] * v
+			}
+		}
+		sigma := 1.0
+		if s.status[enter] == nbUpper {
+			sigma = -1
+		}
+		// Ratio test: x_enter moves by sigma*t; xB moves by -sigma*t*w.
+		tMax := s.hi[enter] - s.lo[enter]
+		leave := -1
+		leaveToUpper := false
+		leavePiv := 0.0
+		for i := 0; i < m; i++ {
+			delta := -sigma * w[i]
+			bj := s.basis[i]
+			var limit float64
+			var toUpper bool
+			switch {
+			case delta > pivotTol:
+				if math.IsInf(s.hi[bj], 1) {
+					continue
+				}
+				limit = (s.hi[bj] - s.xB[i]) / delta
+				toUpper = true
+			case delta < -pivotTol:
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				limit = (s.lo[bj] - s.xB[i]) / delta
+				toUpper = false
+			default:
+				continue
+			}
+			if limit < 0 {
+				limit = 0 // numerical guard: basic vars are feasible by invariant
+			}
+			if limit < tMax-feasTol || (limit < tMax+feasTol && leave >= 0 && math.Abs(w[i]) > math.Abs(leavePiv)) {
+				if limit < tMax-feasTol {
+					tMax = limit
+				}
+				leave = i
+				leaveToUpper = toUpper
+				leavePiv = w[i]
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return lpUnbounded, nil
+		}
+		if bland && leave >= 0 {
+			// Bland's anti-cycling rule needs the leaving tie broken
+			// by smallest variable index among minimum-ratio rows.
+			bestIdx := int32(1 << 30)
+			for i := 0; i < m; i++ {
+				delta := -sigma * w[i]
+				bj := s.basis[i]
+				var limit float64
+				var toUpper bool
+				switch {
+				case delta > pivotTol:
+					if math.IsInf(s.hi[bj], 1) {
+						continue
+					}
+					limit = (s.hi[bj] - s.xB[i]) / delta
+					toUpper = true
+				case delta < -pivotTol:
+					if math.IsInf(s.lo[bj], -1) {
+						continue
+					}
+					limit = (s.lo[bj] - s.xB[i]) / delta
+					toUpper = false
+				default:
+					continue
+				}
+				if limit < 0 {
+					limit = 0
+				}
+				if limit <= tMax+feasTol && bj < bestIdx {
+					bestIdx = bj
+					leave = i
+					leaveToUpper = toUpper
+					leavePiv = w[i]
+				}
+			}
+		}
+		if leave >= 0 && math.Abs(w[leave]) < 1e-7 {
+			// Committing this pivot would (nearly) singularize the
+			// basis: ban the entering column and re-price.
+			banned[enter] = true
+			continue
+		}
+		// Apply the step.
+		for i := 0; i < m; i++ {
+			s.xB[i] -= sigma * tMax * w[i]
+		}
+		if leave == -1 {
+			// Bound flip: entering jumps to its opposite bound.
+			if s.status[enter] == nbLower {
+				s.status[enter] = nbUpper
+			} else {
+				s.status[enter] = nbLower
+			}
+		} else {
+			if len(banned) > 0 {
+				banned = make(map[int]bool)
+				retriedAfterBan = false
+			}
+			enterVal := s.nbValue(enter) + sigma*tMax
+			out := s.basis[leave]
+			if leaveToUpper {
+				s.status[out] = nbUpper
+			} else {
+				s.status[out] = nbLower
+			}
+			s.status[enter] = inBasis
+			s.basis[leave] = int32(enter)
+			s.xB[leave] = enterVal
+			// Pivot the explicit inverse.
+			piv := w[leave]
+			if math.Abs(piv) < pivotTol {
+				if err := s.refactorize(); err != nil {
+					return lpOptimal, err
+				}
+				continue
+			}
+			rowR := s.binv[leave]
+			inv := 1 / piv
+			for c := 0; c < m; c++ {
+				rowR[c] *= inv
+			}
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				f := w[i]
+				if f == 0 {
+					continue
+				}
+				ri := s.binv[i]
+				for c := 0; c < m; c++ {
+					ri[c] -= f * rowR[c]
+				}
+			}
+			s.pivots++
+			if s.pivots >= s.refEvery {
+				if err := s.refactorize(); err != nil {
+					return lpOptimal, err
+				}
+			}
+		}
+		if debugTrace && s.iters%5000 == 0 {
+			fmt.Printf("[simplex] iter=%d obj=%.6f stall=%d bland=%v banned=%d\n", s.iters, s.objValue(), stall, bland, len(banned))
+		}
+		// Degeneracy bookkeeping.
+		obj := s.objValue()
+		if obj < lastObj-1e-9 {
+			lastObj = obj
+			stall = 0
+			bland = false
+		} else {
+			stall++
+			if stall > stallLimit {
+				bland = true
+			}
+		}
+	}
+}
+
+// refactorize recomputes the basis inverse and basic values from
+// scratch via Gauss-Jordan elimination with partial pivoting.
+func (s *simplex) refactorize() error {
+	if debugChecks {
+		old := append([]float64(nil), s.xB...)
+		defer func() {
+			for i := range old {
+				if math.Abs(old[i]-s.xB[i]) > 1e-5 {
+					panic(fmt.Sprintf("ilp: iter %d: incremental xB[%d] (col %d) = %g but true value %g", s.iters, i, s.basis[i], old[i], s.xB[i]))
+				}
+			}
+		}()
+	}
+	m := s.sf.m
+	// Build B (dense) from the basis columns.
+	bmat := make([][]float64, m)
+	for i := range bmat {
+		bmat[i] = make([]float64, 2*m) // [B | I] augmented
+		bmat[i][m+i] = 1
+	}
+	for c, bj := range s.basis {
+		col := &s.cols[bj]
+		for k, r := range col.ind {
+			bmat[r][c] = col.val[k]
+		}
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(bmat[r][c]) > math.Abs(bmat[p][c]) {
+				p = r
+			}
+		}
+		if math.Abs(bmat[p][c]) < 1e-12 {
+			return errSingularBasis
+		}
+		bmat[c], bmat[p] = bmat[p], bmat[c]
+		inv := 1 / bmat[c][c]
+		for k := c; k < 2*m; k++ {
+			bmat[c][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := bmat[r][c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k < 2*m; k++ {
+				bmat[r][k] -= f * bmat[c][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], bmat[i][m:])
+	}
+	// Recompute xB = Binv · (b - A_N x_N).
+	resid := make([]float64, m)
+	copy(resid, s.sf.b)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == inBasis {
+			continue
+		}
+		x := s.nbValue(j)
+		if x == 0 {
+			continue
+		}
+		col := &s.cols[j]
+		for k, r := range col.ind {
+			resid[r] -= col.val[k] * x
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := s.binv[i]
+		for r := 0; r < m; r++ {
+			v += row[r] * resid[r]
+		}
+		s.xB[i] = v
+	}
+	s.pivots = 0
+	// Drift check: the recomputed basics must still be (near-)feasible;
+	// incremental updates through small pivots can silently walk the
+	// iterate out of the feasible region.
+	for i, bj := range s.basis {
+		if s.xB[i] < s.lo[bj]-1e-6 || s.xB[i] > s.hi[bj]+1e-6 {
+			if s.refEvery <= 1 && s.xB[i] > s.lo[bj]-1e-4 && s.xB[i] < s.hi[bj]+1e-4 {
+				// Sub-1e-4 residue from bound snapping under per-pivot
+				// refactorization: clamp and continue.
+				s.xB[i] = math.Min(math.Max(s.xB[i], s.lo[bj]), s.hi[bj])
+				continue
+			}
+			return errNumerical
+		}
+	}
+	return nil
+}
+
+// debugChecks enables expensive internal invariant checks (set by
+// tests via the ilpdebug build hook).
+var debugChecks = false
+
+// debugTrace prints periodic simplex progress lines (tests only).
+var debugTrace = false
+
+// SetDebugTrace toggles simplex progress tracing.
+func SetDebugTrace(on bool) { debugTrace = on }
+
+// SetDebugChecks toggles internal solver invariant checks (tests only).
+func SetDebugChecks(on bool) { debugChecks = on }
+
+// SetRefactorEvery adjusts the refactorization interval (tests only).
+func SetRefactorEvery(n int) { refactorEvery = n }

@@ -1,0 +1,313 @@
+package ilpgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"p4all/internal/dep"
+	"p4all/internal/ilp"
+
+	"p4all/internal/pisa"
+)
+
+// ErrInfeasible is returned when the program cannot fit the target
+// under its assume constraints.
+var ErrInfeasible = errors.New("ilpgen: program does not fit the target")
+
+// Placement records one placed action instance.
+type Placement struct {
+	Action string
+	Name   string // instance name, e.g. incr[2]
+	Iter   int    // innermost iteration; -1 for inelastic
+	Stage  int
+	Node   int // dependency node id
+}
+
+// RegPlacement records where one register instance landed and how much
+// memory it received.
+type RegPlacement struct {
+	Register string
+	Index    int
+	Width    int
+	Cells    int64
+	Stages   []int         // occupied stages (one unless spreading)
+	Bits     map[int]int64 // bits allocated per stage
+}
+
+// StageUse summarizes one stage's resource consumption.
+type StageUse struct {
+	Hf, Hl, Hashes int
+	MemoryBits     int64
+}
+
+// Stats reports the size of the generated ILP and the solve effort —
+// the numbers of the paper's Figure 11 — plus the certified optimality
+// gap of the extracted layout (0 when optimality was proven).
+type Stats struct {
+	Vars, Constrs      int
+	Nodes, SimplexIter int
+	Gap                float64
+}
+
+// Layout is a concrete solution: symbolic assignments plus the mapping
+// of program elements to stages (the compiler's second output in
+// Figure 8).
+type Layout struct {
+	Target     *pisa.Target
+	Symbolics  map[string]int64
+	Objective  float64
+	Placements []Placement
+	Registers  []RegPlacement
+	Stages     []StageUse
+	Stats      Stats
+}
+
+// Symbolic returns the solved value of the named symbolic.
+func (l *Layout) Symbolic(name string) int64 { return l.Symbolics[name] }
+
+// Solve optimizes the generated ILP and extracts the layout.
+func (p *ILP) Solve(opts ilp.Options) (*Layout, error) {
+	sol, err := ilp.Solve(p.Model, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case ilp.StatusOptimal:
+	case ilp.StatusLimit:
+		if sol.Values == nil {
+			return nil, fmt.Errorf("ilpgen: solver hit its limit with no incumbent")
+		}
+	case ilp.StatusInfeasible:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("ilpgen: solver returned %v", sol.Status)
+	}
+	return p.extract(sol)
+}
+
+func (p *ILP) extract(sol *ilp.Solution) (*Layout, error) {
+	if err := ilp.Verify(p.Model, sol.Values); err != nil {
+		return nil, fmt.Errorf("ilpgen: solution failed verification: %w", err)
+	}
+	l := &Layout{
+		Target:    p.Target,
+		Symbolics: make(map[string]int64, len(p.Unit.Symbolics)),
+		Objective: sol.Objective,
+		Stages:    make([]StageUse, p.Target.Stages),
+		Stats: Stats{
+			Vars:        p.Model.NumVars(),
+			Constrs:     p.Model.NumConstrs(),
+			Nodes:       sol.Nodes,
+			SimplexIter: sol.SimplexIters,
+			Gap:         sol.AchievedGap(),
+		},
+	}
+	for _, sym := range p.Unit.Symbolics {
+		v := p.symValueExpr(sym).Eval(sol.Values)
+		if p.roleOf(sym) == roleSize {
+			// Continuous cell counts floor to the largest integer
+			// size that still fits.
+			l.Symbolics[sym.Name] = int64(v + 1e-6)
+		} else {
+			l.Symbolics[sym.Name] = int64(math.Round(v))
+		}
+	}
+	// Node placements.
+	nodeStages := make([][]int, len(p.Graph.Nodes))
+	for _, n := range p.Graph.Nodes {
+		for s, xv := range p.x[n.ID] {
+			if sol.Value(xv) > 0.5 {
+				nodeStages[n.ID] = append(nodeStages[n.ID], s)
+				l.Stages[s].Hf += n.Hf
+				l.Stages[s].Hl += n.Hl
+				l.Stages[s].Hashes += n.Hashes
+			}
+		}
+		if len(nodeStages[n.ID]) == 0 {
+			continue
+		}
+		stage := nodeStages[n.ID][0]
+		for _, in := range n.Instances {
+			iter := -1
+			if in.Inv.Elastic() {
+				iter = in.Iter()
+			} else if in.Inv.HasConstIndex {
+				iter = int(in.Inv.ConstIndex)
+			}
+			l.Placements = append(l.Placements, Placement{
+				Action: in.Inv.Action.Name,
+				Name:   in.Name(),
+				Iter:   iter,
+				Stage:  stage,
+				Node:   n.ID,
+			})
+		}
+	}
+	sort.Slice(l.Placements, func(i, j int) bool {
+		if l.Placements[i].Stage != l.Placements[j].Stage {
+			return l.Placements[i].Stage < l.Placements[j].Stage
+		}
+		return l.Placements[i].Name < l.Placements[j].Name
+	})
+	// Register placements.
+	for _, reg := range p.Unit.Registers {
+		for _, ri := range p.insts[reg.Name] {
+			vars, ok := p.mem[ri]
+			if !ok {
+				continue
+			}
+			rp := RegPlacement{Register: reg.Name, Index: ri.Index, Width: reg.Width, Bits: make(map[int]int64)}
+			var total int64
+			for s, mv := range vars {
+				bits := int64(math.Round(sol.Value(mv)))
+				if bits <= 0 {
+					continue
+				}
+				rp.Stages = append(rp.Stages, s)
+				rp.Bits[s] = bits
+				l.Stages[s].MemoryBits += bits
+				total += bits
+			}
+			if total == 0 {
+				continue // instance does not exist in this layout
+			}
+			rp.Cells = total / int64(reg.Width)
+			l.Registers = append(l.Registers, rp)
+		}
+	}
+	return l, nil
+}
+
+// Validate re-checks a layout against the target's physical limits and
+// the dependency edges — used by tests as an end-to-end invariant.
+func (l *Layout) Validate(p *ILP) error {
+	t := l.Target
+	for s, use := range l.Stages {
+		if use.Hf > t.StatefulALUs {
+			return fmt.Errorf("stage %d uses %d stateful ALUs of %d", s, use.Hf, t.StatefulALUs)
+		}
+		if use.Hl > t.StatelessALUs {
+			return fmt.Errorf("stage %d uses %d stateless ALUs of %d", s, use.Hl, t.StatelessALUs)
+		}
+		if t.HashUnits > 0 && use.Hashes > t.HashUnits {
+			return fmt.Errorf("stage %d uses %d hash units of %d", s, use.Hashes, t.HashUnits)
+		}
+		if use.MemoryBits > int64(t.MemoryBits) {
+			return fmt.Errorf("stage %d uses %d memory bits of %d", s, use.MemoryBits, t.MemoryBits)
+		}
+	}
+	// Edge checks over placed nodes.
+	stageOf := map[int][]int{}
+	for _, pl := range l.Placements {
+		found := false
+		for _, s := range stageOf[pl.Node] {
+			if s == pl.Stage {
+				found = true
+			}
+		}
+		if !found {
+			stageOf[pl.Node] = append(stageOf[pl.Node], pl.Stage)
+		}
+	}
+	for a, succ := range p.Graph.Prec {
+		for _, b := range succ {
+			sa, oka := stageOf[a]
+			sb, okb := stageOf[b]
+			if !okb {
+				continue
+			}
+			if !oka {
+				return fmt.Errorf("node %d placed but its predecessor %d is not", b, a)
+			}
+			if maxOf(sa) >= minOf(sb) {
+				return fmt.Errorf("precedence %d->%d violated: stages %v vs %v", a, b, sa, sb)
+			}
+		}
+	}
+	for a, ex := range p.Graph.Excl {
+		for _, b := range ex {
+			if a >= b {
+				continue
+			}
+			for _, s1 := range stageOf[a] {
+				for _, s2 := range stageOf[b] {
+					if s1 == s2 {
+						return fmt.Errorf("exclusion %d-%d violated: both in stage %d", a, b, s1)
+					}
+				}
+			}
+		}
+	}
+	// Iteration contiguity: if iteration i exists, so do 0..i-1.
+	for sym, bound := range p.Bounds.LoopBound {
+		v := l.Symbolics[sym.Name]
+		if v < 0 || v > int64(bound) {
+			return fmt.Errorf("symbolic %s = %d outside [0, %d]", sym.Name, v, bound)
+		}
+	}
+	return nil
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders the layout as a per-stage report (Figure 7 style).
+func (l *Layout) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "layout for %s (objective %.4g)\n", l.Target.Name, l.Objective)
+	syms := make([]string, 0, len(l.Symbolics))
+	for name := range l.Symbolics {
+		syms = append(syms, name)
+	}
+	sort.Strings(syms)
+	for _, name := range syms {
+		fmt.Fprintf(&b, "  %s = %d\n", name, l.Symbolics[name])
+	}
+	for s := 0; s < l.Target.Stages; s++ {
+		var acts, regs []string
+		for _, pl := range l.Placements {
+			if pl.Stage == s {
+				acts = append(acts, pl.Name)
+			}
+		}
+		for _, rp := range l.Registers {
+			if bits, ok := rp.Bits[s]; ok {
+				regs = append(regs, fmt.Sprintf("%s/%d(%db)", rp.Register, rp.Index, bits))
+			}
+		}
+		if len(acts) == 0 && len(regs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  stage %2d: actions={%s} registers={%s} (Hf=%d Hl=%d mem=%db)\n",
+			s, strings.Join(acts, ", "), strings.Join(regs, ", "),
+			l.Stages[s].Hf, l.Stages[s].Hl, l.Stages[s].MemoryBits)
+	}
+	return b.String()
+}
+
+// RegInstanceNode exposes the node hosting a register instance (for
+// the simulator and tests).
+func (p *ILP) RegInstanceNode(ri dep.RegInstance) (int, bool) {
+	id, ok := p.Graph.RegNodes[ri]
+	return id, ok
+}

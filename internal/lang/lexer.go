@@ -1,0 +1,247 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer scans P4All source into tokens. Comments (// and /* */) are
+// skipped. The lexer never fails hard: unknown characters produce a
+// positioned error and scanning stops.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex scans the entire source, returning tokens terminated by EOF.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		start := lx.off
+		// Hex literals (0x...) and decimal.
+		if c == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+				lx.advance()
+			}
+			// Decimal literal: digits '.' digits (used in utility
+			// weights like 0.4).
+			if lx.peek() == '.' && lx.peek2() >= '0' && lx.peek2() <= '9' {
+				lx.advance()
+				for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+					lx.advance()
+				}
+				return Token{Kind: FLOAT, Text: lx.src[start:lx.off], Pos: pos}, nil
+			}
+		}
+		return Token{Kind: INT, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	lx.advance()
+	two := func(nextC byte, withKind, aloneKind Kind) (Token, error) {
+		if lx.peek() == nextC {
+			lx.advance()
+			return Token{Kind: withKind, Text: string(c) + string(nextC), Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Text: string(c), Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Text: ")", Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBRACE, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Text: "}", Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBRACKET, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBRACKET, Text: "]", Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMI, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Text: ",", Pos: pos}, nil
+	case '.':
+		return Token{Kind: DOT, Text: ".", Pos: pos}, nil
+	case '+':
+		return Token{Kind: PLUS, Text: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: MINUS, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: STAR, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: SLASH, Text: "/", Pos: pos}, nil
+	case '%':
+		return Token{Kind: PCT, Text: "%", Pos: pos}, nil
+	case '@':
+		return Token{Kind: AT, Text: "@", Pos: pos}, nil
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '!':
+		return two('=', NE, NOT)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: AND, Text: "&&", Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean &&?)", "&")
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OR, Text: "||", Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean ||?)", "|")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// parseIntLit converts a decimal or hex literal text to int64.
+func parseIntLit(text string) (int64, bool) {
+	var v int64
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		for _, r := range text[2:] {
+			var d int64
+			switch {
+			case r >= '0' && r <= '9':
+				d = int64(r - '0')
+			case r >= 'a' && r <= 'f':
+				d = int64(r-'a') + 10
+			case r >= 'A' && r <= 'F':
+				d = int64(r-'A') + 10
+			default:
+				return 0, false
+			}
+			v = v*16 + d
+		}
+		return v, true
+	}
+	for _, r := range text {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(r-'0')
+	}
+	return v, true
+}

@@ -1,0 +1,363 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// linearize walks the main control's apply block and produces the
+// invocation sequence the dependency analysis and ILP generator
+// consume. Constant-bound loops are unrolled here; symbolic loops
+// become LoopRefs. Controls invoked via apply are inlined. Bare
+// assignments inside apply blocks are wrapped into synthetic actions.
+func (r *resolver) linearize() error {
+	lw := &linWalker{r: r, inlining: make(map[string]bool)}
+	if err := lw.control(r.unit.Main, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+type linFrame struct {
+	loops  []*LoopRef
+	guards []Expr
+	env    map[string]int64 // constant loop variables in scope
+}
+
+func (f *linFrame) clone() *linFrame {
+	nf := &linFrame{
+		loops:  append([]*LoopRef(nil), f.loops...),
+		guards: append([]Expr(nil), f.guards...),
+		env:    make(map[string]int64, len(f.env)),
+	}
+	for k, v := range f.env {
+		nf.env[k] = v
+	}
+	return nf
+}
+
+type linWalker struct {
+	r        *resolver
+	inlining map[string]bool // controls currently being inlined (cycle check)
+	synthN   int
+}
+
+func (lw *linWalker) unit() *Unit { return lw.r.unit }
+
+func (lw *linWalker) control(c *Control, f *linFrame) error {
+	if lw.inlining[c.Name] {
+		return errf(c.Decl.Pos, "control %s applied recursively", c.Name)
+	}
+	lw.inlining[c.Name] = true
+	defer delete(lw.inlining, c.Name)
+	if f == nil {
+		f = &linFrame{env: make(map[string]int64)}
+	}
+	return lw.block(c.Decl.Apply, f)
+}
+
+func (lw *linWalker) block(b *Block, f *linFrame) error {
+	for _, s := range b.Stmts {
+		if err := lw.stmt(s, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *linWalker) stmt(s Stmt, f *linFrame) error {
+	switch s := s.(type) {
+	case *Block:
+		return lw.block(s, f)
+	case *IfStmt:
+		return lw.ifStmt(s, f)
+	case *ForStmt:
+		return lw.forStmt(s, f)
+	case *CallStmt:
+		return lw.call(s, f)
+	case *ApplyStmt:
+		return lw.apply(s, f)
+	case *AssignStmt:
+		return lw.syntheticAssign(s, f)
+	default:
+		return errf(s.GetPos(), "unsupported statement in apply block")
+	}
+}
+
+func (lw *linWalker) ifStmt(s *IfStmt, f *linFrame) error {
+	cond := substEnv(s.Cond, f.env)
+	// Guarded-reduction idiom spanning the call boundary:
+	// if (A < X) { act()[i]; } where act's body is "X = A".
+	if call, ok := singleCall(s.Then); ok && s.Else == nil {
+		if a := lw.unit().ActionByName(call.Name); a != nil {
+			if as, ok := soleBodyAssign(a); ok {
+				body := as
+				if a.Decl.IndexParam != "" && call.Index != nil {
+					sub := map[string]Expr{a.Decl.IndexParam: substEnv(call.Index, f.env)}
+					body = &AssignStmt{
+						Pos: as.Pos,
+						LHS: substExpr(as.LHS, sub).(*Ref),
+						RHS: substExpr(as.RHS, sub),
+					}
+				}
+				if isReductionGuard(cond, body) {
+					a.Commutative = true
+					for i := range a.Meta {
+						if a.Meta[i].Write {
+							a.Meta[i].Commutative = true
+						}
+					}
+				}
+			}
+		}
+	}
+	nf := f.clone()
+	nf.guards = append(nf.guards, cond)
+	if err := lw.block(s.Then, nf); err != nil {
+		return err
+	}
+	if s.Else != nil {
+		ef := f.clone()
+		ef.guards = append(ef.guards, cond)
+		return lw.block(s.Else, ef)
+	}
+	return nil
+}
+
+func (lw *linWalker) forStmt(s *ForStmt, f *linFrame) error {
+	if _, shadow := f.env[s.Var]; shadow {
+		return errf(s.Pos, "loop variable %s shadows an enclosing loop variable", s.Var)
+	}
+	for _, l := range f.loops {
+		if l.Var == s.Var {
+			return errf(s.Pos, "loop variable %s shadows an enclosing loop variable", s.Var)
+		}
+	}
+	size, err := lw.r.sizeExpr(substEnv(s.Bound, f.env))
+	if err != nil {
+		return err
+	}
+	if !size.IsSymbolic() {
+		// Constant loop: unroll now.
+		for k := int64(0); k < size.Const; k++ {
+			nf := f.clone()
+			nf.env[s.Var] = k
+			if err := lw.block(s.Body, nf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	loop := &LoopRef{ID: len(lw.unit().Loops), Sym: size.Sym, Var: s.Var, Decl: s}
+	lw.unit().Loops = append(lw.unit().Loops, loop)
+	nf := f.clone()
+	nf.loops = append(nf.loops, loop)
+	return lw.block(s.Body, nf)
+}
+
+func (lw *linWalker) call(s *CallStmt, f *linFrame) error {
+	a := lw.unit().ActionByName(s.Name)
+	if a == nil {
+		return errf(s.Pos, "call of unknown action %s", s.Name)
+	}
+	if len(s.Args) != len(a.Decl.Params) {
+		return errf(s.Pos, "action %s expects %d argument(s), got %d", s.Name, len(a.Decl.Params), len(s.Args))
+	}
+	inv := &Invocation{Action: a, Guards: append([]Expr(nil), f.guards...)}
+	switch {
+	case a.Indexed && s.Index == nil:
+		return errf(s.Pos, "indexed action %s called without an index", s.Name)
+	case !a.Indexed && s.Index != nil:
+		return errf(s.Pos, "action %s is not indexed", s.Name)
+	case a.Indexed:
+		idx := substEnv(s.Index, f.env)
+		if ref, ok := idx.(*Ref); ok && ref.IsSimpleIdent() {
+			innermost := innermostLoop(f)
+			if innermost != nil && ref.Base() == innermost.Var {
+				inv.Loops = append([]*LoopRef(nil), f.loops...)
+				break
+			}
+			for _, l := range f.loops {
+				if l.Var == ref.Base() {
+					return errf(s.Pos, "call index %s must be the innermost loop variable (%s)", ref.Base(), innermost.Var)
+				}
+			}
+		}
+		v, err := lw.r.evalConst(idx)
+		if err != nil {
+			return errf(s.Pos, "call index must be the innermost loop variable or a constant")
+		}
+		if v < 0 {
+			return errf(s.Pos, "call index is negative (%d)", v)
+		}
+		inv.HasConstIndex = true
+		inv.ConstIndex = v
+	}
+	if err := lw.attachGuards(inv, f); err != nil {
+		return err
+	}
+	lw.append(inv)
+	return nil
+}
+
+func (lw *linWalker) apply(s *ApplyStmt, f *linFrame) error {
+	u := lw.unit()
+	if c, ok := u.controlByName[s.Target]; ok {
+		return lw.control(c, f.clone())
+	}
+	if t, ok := u.tableByName[s.Target]; ok {
+		// The table match, then each invocable action (conservatively
+		// all alternatives are placed; see DESIGN.md on the §4.4
+		// table limitation).
+		match := &Invocation{Action: t.Match, Guards: append([]Expr(nil), f.guards...)}
+		if len(f.loops) > 0 {
+			return errf(s.Pos, "table %s cannot be applied inside an elastic loop", t.Name)
+		}
+		if err := lw.attachGuards(match, f); err != nil {
+			return err
+		}
+		lw.append(match)
+		for _, a := range t.Actions {
+			inv := &Invocation{Action: a, Guards: append([]Expr(nil), f.guards...)}
+			if err := lw.attachGuards(inv, f); err != nil {
+				return err
+			}
+			lw.append(inv)
+		}
+		return nil
+	}
+	return errf(s.Pos, "apply of unknown control or table %s", s.Target)
+}
+
+// syntheticAssign wraps a bare apply-block assignment into a synthetic
+// action so downstream stages see a uniform invocation stream.
+func (lw *linWalker) syntheticAssign(s *AssignStmt, f *linFrame) error {
+	lw.synthN++
+	name := fmt.Sprintf("__stmt%d", lw.synthN)
+	stmt := &AssignStmt{Pos: s.Pos, LHS: substEnv(s.LHS, f.env).(*Ref), RHS: substEnv(s.RHS, f.env)}
+	decl := &ActionDecl{
+		Pos:  s.Pos,
+		Name: name,
+		Body: &Block{Pos: s.Pos, Stmts: []Stmt{stmt}},
+	}
+	if inner := innermostLoop(f); inner != nil {
+		decl.IndexParam = inner.Var
+	}
+	a := &Action{Name: name, Decl: decl, Indexed: decl.IndexParam != "", Synthetic: true}
+	if err := lw.r.analyzeAction(a); err != nil {
+		return err
+	}
+	lw.unit().Actions = append(lw.unit().Actions, a)
+	lw.unit().actionByName[name] = a
+	inv := &Invocation{Action: a, Guards: append([]Expr(nil), f.guards...)}
+	if a.Indexed {
+		inv.Loops = append([]*LoopRef(nil), f.loops...)
+	}
+	if err := lw.attachGuards(inv, f); err != nil {
+		return err
+	}
+	lw.append(inv)
+	return nil
+}
+
+// attachGuards analyzes the invocation's guard conditions as reads in
+// the iteration context and records their ALU cost.
+func (lw *linWalker) attachGuards(inv *Invocation, f *linFrame) error {
+	if len(inv.Guards) == 0 {
+		return nil
+	}
+	indexParam := ""
+	if inner := innermostLoop(f); inner != nil {
+		indexParam = inner.Var
+	}
+	ghost := &Action{
+		Name: inv.Action.Name + "__guard",
+		Decl: &ActionDecl{IndexParam: indexParam},
+	}
+	ba := &bodyAnalyzer{r: lw.r, action: ghost}
+	for _, g := range inv.Guards {
+		if err := ba.expr(g); err != nil {
+			return err
+		}
+	}
+	inv.GuardReads = ghost.Meta
+	inv.GuardProfile = ghost.Profile
+	return nil
+}
+
+func (lw *linWalker) append(inv *Invocation) {
+	inv.Order = len(lw.unit().Invocations)
+	lw.unit().Invocations = append(lw.unit().Invocations, inv)
+}
+
+func innermostLoop(f *linFrame) *LoopRef {
+	if len(f.loops) == 0 {
+		return nil
+	}
+	return f.loops[len(f.loops)-1]
+}
+
+func singleCall(b *Block) (*CallStmt, bool) {
+	if b == nil || len(b.Stmts) != 1 {
+		return nil, false
+	}
+	c, ok := b.Stmts[0].(*CallStmt)
+	return c, ok
+}
+
+// soleBodyAssign returns an action's body if it is a single assignment.
+func soleBodyAssign(a *Action) (*AssignStmt, bool) {
+	if a.Decl == nil || a.Decl.Body == nil {
+		return nil, false
+	}
+	return singleAssign(a.Decl.Body)
+}
+
+// substEnv replaces constant loop variables with their values.
+func substEnv(e Expr, env map[string]int64) Expr {
+	if len(env) == 0 {
+		return e
+	}
+	sub := make(map[string]Expr, len(env))
+	for k, v := range env {
+		sub[k] = &IntLit{Value: v}
+	}
+	return substExpr(e, sub)
+}
+
+// substExpr returns a copy of e with simple identifier references
+// replaced per sub. Non-matching nodes are shared, matching subtrees
+// rebuilt.
+func substExpr(e Expr, sub map[string]Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit, *BoolLit, *FloatLit:
+		return e
+	case *Ref:
+		if e.IsSimpleIdent() {
+			if repl, ok := sub[e.Base()]; ok {
+				return repl
+			}
+			return e
+		}
+		out := &Ref{Pos: e.Pos, Segs: make([]Seg, len(e.Segs))}
+		for i, s := range e.Segs {
+			ns := Seg{Name: s.Name}
+			for _, idx := range s.Indexes {
+				ns.Indexes = append(ns.Indexes, substExpr(idx, sub))
+			}
+			out.Segs[i] = ns
+		}
+		return out
+	case *Unary:
+		return &Unary{Pos: e.Pos, Op: e.Op, X: substExpr(e.X, sub)}
+	case *Binary:
+		return &Binary{Pos: e.Pos, Op: e.Op, X: substExpr(e.X, sub), Y: substExpr(e.Y, sub)}
+	case *CallExpr:
+		out := &CallExpr{Pos: e.Pos, Name: e.Name}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, substExpr(a, sub))
+		}
+		return out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,151 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpr builds a random well-formed expression over the given
+// identifier pool.
+func randomExpr(rng *rand.Rand, depth int, idents []string) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &IntLit{Value: int64(rng.Intn(1000))}
+		case 1:
+			return &Ref{Segs: []Seg{{Name: idents[rng.Intn(len(idents))]}}}
+		default:
+			return &FloatLit{Value: float64(rng.Intn(100)) / 10}
+		}
+	}
+	ops := []Kind{PLUS, MINUS, STAR, SLASH, LT, LE, GT, GE, EQ, NE, AND, OR}
+	switch rng.Intn(6) {
+	case 0:
+		return &Unary{Op: MINUS, X: randomExpr(rng, depth-1, idents)}
+	case 1:
+		args := []Expr{randomExpr(rng, depth-1, idents), randomExpr(rng, depth-1, idents)}
+		return &CallExpr{Name: []string{"min", "max", "hash"}[rng.Intn(3)], Args: args}
+	default:
+		return &Binary{
+			Op: ops[rng.Intn(len(ops))],
+			X:  randomExpr(rng, depth-1, idents),
+			Y:  randomExpr(rng, depth-1, idents),
+		}
+	}
+}
+
+// TestQuickExprPrintParseRoundTrip: printing an expression and parsing
+// it back must reproduce the same printed form (print∘parse fixed
+// point), for arbitrary operator nests — this pins the printer's
+// parenthesization against the parser's precedence.
+func TestQuickExprPrintParseRoundTrip(t *testing.T) {
+	idents := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4, idents)
+		printed := PrintExpr(e)
+		// Parse it back inside an assume declaration.
+		prog, err := Parse("assume " + printed + ";\ncontrol main { apply { } }")
+		if err != nil {
+			t.Logf("seed %d: %q failed to reparse: %v", seed, printed, err)
+			return false
+		}
+		assume, ok := prog.Decls[0].(*AssumeDecl)
+		if !ok {
+			return false
+		}
+		reprinted := PrintExpr(assume.Cond)
+		if reprinted != printed {
+			t.Logf("seed %d: %q reprinted as %q", seed, printed, reprinted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProgramRoundTrip: a whole generated program survives
+// print -> parse -> print.
+func TestQuickProgramRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgramSource(rng)
+		prog, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: generated source failed to parse: %v\n%s", seed, err, src)
+			return false
+		}
+		p1 := Print(prog)
+		prog2, err := Parse(p1)
+		if err != nil {
+			t.Logf("seed %d: printed source failed to reparse: %v\n%s", seed, err, p1)
+			return false
+		}
+		if p2 := Print(prog2); p1 != p2 {
+			t.Logf("seed %d: print not a fixed point", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProgramSource emits a small random but syntactically valid
+// P4All program.
+func randomProgramSource(rng *rand.Rand) string {
+	src := "symbolic int n;\nassume n >= 1 && n <= 8;\n"
+	src += "header h { bit<32> key; bit<16> port; }\n"
+	src += "struct meta { bit<32>[n] v; bit<32> acc; bit<8> flag; }\n"
+	if rng.Intn(2) == 0 {
+		src += "symbolic int w;\nregister<bit<32>>[w][n] r;\n"
+	} else {
+		src += "register<bit<32>>[256][n] r;\n"
+	}
+	src += "action work()[int i] {\n"
+	switch rng.Intn(3) {
+	case 0:
+		src += "    meta.v[i] = hash(h.key, i) % 256;\n    r[i][meta.v[i]] = r[i][meta.v[i]] + 1;\n"
+	case 1:
+		src += "    meta.v[i] = h.key + i;\n"
+	default:
+		src += "    meta.v[i] = min(h.key, 100);\n"
+	}
+	src += "}\n"
+	src += "action fold()[int i] { meta.acc = meta.acc + meta.v[i]; }\n"
+	src += "control main {\n    apply {\n"
+	src += "        for (i < n) { work()[i]; }\n"
+	if rng.Intn(2) == 0 {
+		src += "        for (i < n) { if (meta.v[i] > 3) { fold()[i]; } }\n"
+	} else {
+		src += "        for (i < n) { fold()[i]; }\n"
+	}
+	src += "    }\n}\n"
+	if rng.Intn(2) == 0 {
+		src += "optimize n;\n"
+	} else {
+		src += "optimize 0.5 * n + 1.5;\n"
+	}
+	return src
+}
+
+// TestQuickGeneratedProgramsResolve: the generated programs must also
+// resolve (semantic analysis accepts what the grammar produces here).
+func TestQuickGeneratedProgramsResolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgramSource(rng)
+		if _, err := ParseAndResolve(src); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package lang implements the P4All language front end: lexer, AST,
+// parser, printer, and semantic resolution. P4All is the paper's
+// backward-compatible extension of P4 with four additions (§3):
+// symbolic values, symbolic arrays, bounded loops governed by symbolic
+// values, and utility functions (the optimize declaration), plus assume
+// statements constraining the symbolic values.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	DOT      // .
+	// Operators.
+	ASSIGN // =
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	PCT    // %
+	LT     // <
+	GT     // >
+	LE     // <=
+	GE     // >=
+	EQ     // ==
+	NE     // !=
+	AND    // &&
+	OR     // ||
+	NOT    // !
+	AT     // @ (annotation introducer)
+	// Keywords.
+	KwSymbolic
+	KwAssume
+	KwOptimize
+	KwConst
+	KwInt
+	KwBool
+	KwBit
+	KwTrue
+	KwFalse
+	KwStruct
+	KwHeader
+	KwRegister
+	KwAction
+	KwControl
+	KwTable
+	KwApply
+	KwIf
+	KwElse
+	KwFor
+	KwReturn
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", FLOAT: "float",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COMMA: ",", DOT: ".",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PCT: "%",
+	LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==", NE: "!=",
+	AND: "&&", OR: "||", NOT: "!", AT: "@",
+	KwSymbolic: "symbolic", KwAssume: "assume", KwOptimize: "optimize",
+	KwConst: "const", KwInt: "int", KwBool: "bool", KwBit: "bit",
+	KwTrue: "true", KwFalse: "false",
+	KwStruct: "struct", KwHeader: "header", KwRegister: "register",
+	KwAction: "action", KwControl: "control", KwTable: "table",
+	KwApply: "apply", KwIf: "if", KwElse: "else", KwFor: "for",
+	KwReturn: "return",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"symbolic": KwSymbolic, "assume": KwAssume, "optimize": KwOptimize,
+	"const": KwConst, "int": KwInt, "bool": KwBool, "bit": KwBit,
+	"true": KwTrue, "false": KwFalse,
+	"struct": KwStruct, "header": KwHeader, "register": KwRegister,
+	"action": KwAction, "control": KwControl, "table": KwTable,
+	"apply": KwApply, "if": KwIf, "else": KwElse, "for": KwFor,
+	"return": KwReturn,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a source-located diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// KindText returns the operator/punctuation text of a token kind, for
+// code generators rendering expressions.
+func KindText(k Kind) string { return kindNames[k] }

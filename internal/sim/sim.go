@@ -1,0 +1,475 @@
+// Package sim executes compiled P4All layouts on a behavioral PISA
+// pipeline: packets carry header fields through the stages of a
+// layout; placed action instances run in stage order against stage-
+// local register state, exactly as the paper's §2 architecture
+// describes. This replaces the Tofino hardware the paper ran on,
+// letting tests and benchmarks observe what the generated programs
+// actually compute.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+)
+
+// Packet carries named header-field values, e.g. "query.key" -> 17.
+type Packet map[string]uint64
+
+// Pipeline is an executable compiled program.
+type Pipeline struct {
+	unit   *lang.Unit
+	layout *ilpgen.Layout
+	// regs[name][instance] is the register storage, sized per layout.
+	regs map[string][][]uint64
+	// steps are the placed invocation instances in execution order.
+	steps []step
+	// meta holds the per-packet metadata (reset per packet); keys are
+	// flattened elastic names like "meta.count@2".
+	meta map[string]uint64
+}
+
+type step struct {
+	inv   *lang.Invocation
+	iter  int
+	stage int
+}
+
+// New builds a pipeline for a resolved unit and its solved layout.
+func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
+	p := &Pipeline{
+		unit:   u,
+		layout: layout,
+		regs:   make(map[string][][]uint64),
+		meta:   make(map[string]uint64),
+	}
+	// Allocate register storage from the layout.
+	counts := map[string]int{}
+	for _, rp := range layout.Registers {
+		if rp.Index+1 > counts[rp.Register] {
+			counts[rp.Register] = rp.Index + 1
+		}
+	}
+	for name, n := range counts {
+		p.regs[name] = make([][]uint64, n)
+	}
+	for _, rp := range layout.Registers {
+		p.regs[rp.Register][rp.Index] = make([]uint64, rp.Cells)
+	}
+	// Build execution steps: placements in (stage, program-order,
+	// iteration) order.
+	invByAction := map[string]*lang.Invocation{}
+	for _, inv := range u.Invocations {
+		if _, dup := invByAction[inv.Action.Name]; !dup {
+			invByAction[inv.Action.Name] = inv
+		}
+	}
+	for _, pl := range layout.Placements {
+		inv, ok := invByAction[pl.Action]
+		if !ok {
+			continue // table match pseudo-actions have no body
+		}
+		if inv.Action.Decl == nil || inv.Action.Decl.Body == nil {
+			continue
+		}
+		p.steps = append(p.steps, step{inv: inv, iter: pl.Iter, stage: pl.Stage})
+	}
+	sort.SliceStable(p.steps, func(i, j int) bool {
+		if p.steps[i].stage != p.steps[j].stage {
+			return p.steps[i].stage < p.steps[j].stage
+		}
+		if p.steps[i].inv.Order != p.steps[j].inv.Order {
+			return p.steps[i].inv.Order < p.steps[j].inv.Order
+		}
+		return p.steps[i].iter < p.steps[j].iter
+	})
+	return p, nil
+}
+
+// Register returns the live contents of a register instance (for tests
+// and tools). The slice aliases pipeline state.
+func (p *Pipeline) Register(name string, instance int) ([]uint64, bool) {
+	insts, ok := p.regs[name]
+	if !ok || instance < 0 || instance >= len(insts) {
+		return nil, false
+	}
+	return insts[instance], insts[instance] != nil
+}
+
+// hashUint mirrors internal/structures' deterministic hash so compiled
+// programs and behavioral models agree.
+func hashUint(key uint64, row uint64) uint64 {
+	x := key + (row+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Process pushes one packet through the pipeline and returns the final
+// metadata view (flattened names: "meta.min", "meta.count@2", ...).
+func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
+	for k := range p.meta {
+		delete(p.meta, k)
+	}
+	for _, st := range p.steps {
+		loopVar := ""
+		if l := st.inv.Loop(); l != nil {
+			loopVar = l.Var
+		}
+		ev := &evaluator{p: p, pkt: pkt, action: st.inv.Action, iter: st.iter, loopVar: loopVar}
+		ok := true
+		for _, g := range st.inv.Guards {
+			v, err := ev.expr(g)
+			if err != nil {
+				return nil, err
+			}
+			if v == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := ev.block(st.inv.Action.Decl.Body); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]uint64, len(p.meta))
+	for k, v := range p.meta {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Meta reads a metadata field after Process ("struct.field" for
+// scalars, instance selected by idx for elastic fields).
+func Meta(out map[string]uint64, field string, idx int) (uint64, bool) {
+	if idx >= 0 {
+		v, ok := out[fmt.Sprintf("%s@%d", field, idx)]
+		return v, ok
+	}
+	v, ok := out[field]
+	return v, ok
+}
+
+// evaluator executes one action instance.
+type evaluator struct {
+	p       *Pipeline
+	pkt     Packet
+	action  *lang.Action
+	iter    int
+	loopVar string // innermost loop variable (guards refer to it)
+}
+
+func (ev *evaluator) block(b *lang.Block) error {
+	for _, s := range b.Stmts {
+		if err := ev.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		return ev.block(s)
+	case *lang.AssignStmt:
+		v, err := ev.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		return ev.assign(s.LHS, v)
+	case *lang.IfStmt:
+		c, err := ev.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return ev.block(s.Then)
+		}
+		if s.Else != nil {
+			return ev.block(s.Else)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sim: unsupported statement %T in action %s", s, ev.action.Name)
+	}
+}
+
+// fieldWidthMask returns the truncation mask for a field width.
+func widthMask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(bits)) - 1
+}
+
+func (ev *evaluator) assign(ref *lang.Ref, v uint64) error {
+	base := ref.Base()
+	if reg := ev.p.unit.RegisterByName(base); reg != nil {
+		inst, cell, err := ev.regTarget(ref, reg)
+		if err != nil {
+			return err
+		}
+		store, ok := ev.p.Register(base, inst)
+		if !ok {
+			// Register instance not materialized in this layout: the
+			// write is a no-op (the action would not have been placed
+			// either; defensive for const-indexed accesses).
+			return nil
+		}
+		if cell >= uint64(len(store)) {
+			cell %= uint64(len(store))
+		}
+		store[cell] = v & widthMask(reg.Width)
+		return nil
+	}
+	if si := ev.p.unit.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		f := si.Field(ref.Segs[1].Name)
+		if f == nil {
+			return fmt.Errorf("sim: unknown field %s", lang.PrintExpr(ref))
+		}
+		name, err := ev.metaKey(ref, f)
+		if err != nil {
+			return err
+		}
+		if si.IsHeader {
+			ev.pkt[name] = v & widthMask(f.Width)
+			return nil
+		}
+		ev.p.meta[name] = v & widthMask(f.Width)
+		return nil
+	}
+	return fmt.Errorf("sim: cannot assign to %s", lang.PrintExpr(ref))
+}
+
+// regTarget resolves a register reference to (instance, cell).
+func (ev *evaluator) regTarget(ref *lang.Ref, reg *lang.Register) (int, uint64, error) {
+	seg := ref.Segs[0]
+	if reg.Decl.Count != nil && len(seg.Indexes) == 2 {
+		inst, err := ev.indexValue(seg.Indexes[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		cell, err := ev.expr(seg.Indexes[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		return int(inst), cell, nil
+	}
+	if len(seg.Indexes) == 1 {
+		cell, err := ev.expr(seg.Indexes[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, cell, nil
+	}
+	return 0, 0, fmt.Errorf("sim: malformed register access %s", lang.PrintExpr(ref))
+}
+
+// metaKey flattens a struct field reference to its storage key.
+func (ev *evaluator) metaKey(ref *lang.Ref, f *lang.MetaField) (string, error) {
+	fseg := ref.Segs[1]
+	qual := f.Qual()
+	elastic := f.Count.IsSymbolic() || f.Count.Const > 1
+	if !elastic {
+		return qual, nil
+	}
+	if len(fseg.Indexes) != 1 {
+		return "", fmt.Errorf("sim: elastic field %s needs one index", qual)
+	}
+	idx, err := ev.indexValue(fseg.Indexes[0])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s@%d", qual, idx), nil
+}
+
+// indexValue evaluates a compile-time instance index (iteration
+// parameter or constant).
+func (ev *evaluator) indexValue(e lang.Expr) (uint64, error) {
+	if ref, ok := e.(*lang.Ref); ok && ref.IsSimpleIdent() &&
+		ev.action.Decl != nil && ref.Base() == ev.action.Decl.IndexParam {
+		return uint64(ev.iter), nil
+	}
+	return ev.expr(e)
+}
+
+func (ev *evaluator) expr(e lang.Expr) (uint64, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return uint64(e.Value), nil
+	case *lang.BoolLit:
+		if e.Value {
+			return 1, nil
+		}
+		return 0, nil
+	case *lang.Unary:
+		v, err := ev.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case lang.MINUS:
+			return -v, nil
+		case lang.NOT:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sim: unsupported unary %s", e.Op)
+	case *lang.Binary:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit boolean operators.
+		switch e.Op {
+		case lang.AND:
+			if x == 0 {
+				return 0, nil
+			}
+		case lang.OR:
+			if x != 0 {
+				return 1, nil
+			}
+		}
+		y, err := ev.expr(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return binOp(e.Op, x, y)
+	case *lang.CallExpr:
+		args := make([]uint64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ev.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch e.Name {
+		case "hash":
+			if len(args) != 2 {
+				return 0, fmt.Errorf("sim: hash expects 2 arguments")
+			}
+			return hashUint(args[0], args[1]), nil
+		case "min":
+			if args[0] < args[1] {
+				return args[0], nil
+			}
+			return args[1], nil
+		case "max":
+			if args[0] > args[1] {
+				return args[0], nil
+			}
+			return args[1], nil
+		}
+		return 0, fmt.Errorf("sim: unknown builtin %s", e.Name)
+	case *lang.Ref:
+		return ev.load(e)
+	default:
+		return 0, fmt.Errorf("sim: unsupported expression %T", e)
+	}
+}
+
+func binOp(op lang.Kind, x, y uint64) (uint64, error) {
+	b := func(ok bool) uint64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case lang.PLUS:
+		return x + y, nil
+	case lang.MINUS:
+		return x - y, nil
+	case lang.STAR:
+		return x * y, nil
+	case lang.SLASH:
+		if y == 0 {
+			return 0, fmt.Errorf("sim: division by zero")
+		}
+		return x / y, nil
+	case lang.PCT:
+		if y == 0 {
+			return 0, fmt.Errorf("sim: modulo by zero")
+		}
+		return x % y, nil
+	case lang.LT:
+		return b(x < y), nil
+	case lang.LE:
+		return b(x <= y), nil
+	case lang.GT:
+		return b(x > y), nil
+	case lang.GE:
+		return b(x >= y), nil
+	case lang.EQ:
+		return b(x == y), nil
+	case lang.NE:
+		return b(x != y), nil
+	case lang.AND:
+		return b(x != 0 && y != 0), nil
+	case lang.OR:
+		return b(x != 0 || y != 0), nil
+	default:
+		return 0, fmt.Errorf("sim: unsupported operator %s", op)
+	}
+}
+
+func (ev *evaluator) load(ref *lang.Ref) (uint64, error) {
+	base := ref.Base()
+	if ref.IsSimpleIdent() {
+		if ev.action.Decl != nil && base == ev.action.Decl.IndexParam {
+			return uint64(ev.iter), nil
+		}
+		if ev.loopVar != "" && base == ev.loopVar {
+			return uint64(ev.iter), nil
+		}
+		if sym := ev.p.unit.SymbolicByName(base); sym != nil {
+			return uint64(ev.p.layout.Symbolics[sym.Name]), nil
+		}
+		if v, ok := ev.p.unit.Consts[base]; ok {
+			return uint64(v), nil
+		}
+		return 0, fmt.Errorf("sim: unknown name %s", base)
+	}
+	if reg := ev.p.unit.RegisterByName(base); reg != nil {
+		inst, cell, err := ev.regTarget(ref, reg)
+		if err != nil {
+			return 0, err
+		}
+		store, ok := ev.p.Register(base, inst)
+		if !ok {
+			return 0, nil
+		}
+		if cell >= uint64(len(store)) {
+			cell %= uint64(len(store))
+		}
+		return store[cell], nil
+	}
+	if si := ev.p.unit.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		f := si.Field(ref.Segs[1].Name)
+		if f == nil {
+			return 0, fmt.Errorf("sim: unknown field %s", lang.PrintExpr(ref))
+		}
+		name, err := ev.metaKey(ref, f)
+		if err != nil {
+			return 0, err
+		}
+		if si.IsHeader {
+			return ev.pkt[name] & widthMask(f.Width), nil
+		}
+		return ev.p.meta[name], nil
+	}
+	return 0, fmt.Errorf("sim: cannot read %s", lang.PrintExpr(ref))
+}

@@ -1,0 +1,366 @@
+// Package structures provides behavioral Go implementations of the
+// PISA data structures of the paper's Figure 1 — count-min sketch,
+// Bloom filter, key-value store, hash table, hierarchical sketch, and
+// ID-indexed table. The P4All compiler decides how large each structure
+// may be; these implementations execute that decision packet-by-packet
+// so the repository can evaluate application quality (the paper's
+// Figure 4) without switch hardware.
+package structures
+
+import (
+	"fmt"
+)
+
+// hashUint mixes a 64-bit key with a row index (splitmix64-style) so
+// rows behave as independent hash functions. Deterministic across
+// processes, unlike maphash.
+func hashUint(key uint64, row uint64) uint64 {
+	x := key + (row+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// CountMinSketch approximates per-key counts in sublinear space (§3.1).
+type CountMinSketch struct {
+	rows, cols int
+	counts     [][]uint32
+}
+
+// NewCountMinSketch allocates a sketch with the given shape. Rows and
+// cols must be positive.
+func NewCountMinSketch(rows, cols int) (*CountMinSketch, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("structures: invalid CMS shape %dx%d", rows, cols)
+	}
+	c := &CountMinSketch{rows: rows, cols: cols, counts: make([][]uint32, rows)}
+	for i := range c.counts {
+		c.counts[i] = make([]uint32, cols)
+	}
+	return c, nil
+}
+
+// Rows returns the sketch depth.
+func (c *CountMinSketch) Rows() int { return c.rows }
+
+// Cols returns the sketch width.
+func (c *CountMinSketch) Cols() int { return c.cols }
+
+// Update increments the key's counters and returns the new estimate
+// (the minimum across rows), matching the hash/increment/min pipeline
+// of Figure 6.
+func (c *CountMinSketch) Update(key uint64) uint32 {
+	est := ^uint32(0)
+	for r := 0; r < c.rows; r++ {
+		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		cell := &c.counts[r][idx]
+		if *cell != ^uint32(0) {
+			*cell++
+		}
+		if *cell < est {
+			est = *cell
+		}
+	}
+	return est
+}
+
+// Estimate returns the current estimate without updating.
+func (c *CountMinSketch) Estimate(key uint64) uint32 {
+	est := ^uint32(0)
+	for r := 0; r < c.rows; r++ {
+		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		if v := c.counts[r][idx]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Reset zeroes all counters.
+func (c *CountMinSketch) Reset() {
+	for r := range c.counts {
+		for i := range c.counts[r] {
+			c.counts[r][i] = 0
+		}
+	}
+}
+
+// MemoryBits returns the register memory the sketch occupies.
+func (c *CountMinSketch) MemoryBits() int64 {
+	return int64(c.rows) * int64(c.cols) * 32
+}
+
+// BloomFilter is a k-row Bloom filter over per-row bit arrays, the
+// shape produced by the elastic Bloom module.
+type BloomFilter struct {
+	rows, bits int
+	data       [][]uint64
+}
+
+// NewBloomFilter allocates a filter with k=rows hash functions over
+// bits cells per row.
+func NewBloomFilter(rows, bits int) (*BloomFilter, error) {
+	if rows <= 0 || bits <= 0 {
+		return nil, fmt.Errorf("structures: invalid Bloom shape %dx%d", rows, bits)
+	}
+	b := &BloomFilter{rows: rows, bits: bits, data: make([][]uint64, rows)}
+	words := (bits + 63) / 64
+	for i := range b.data {
+		b.data[i] = make([]uint64, words)
+	}
+	return b, nil
+}
+
+// Add inserts the key.
+func (b *BloomFilter) Add(key uint64) {
+	for r := 0; r < b.rows; r++ {
+		idx := hashUint(key, uint64(r)) % uint64(b.bits)
+		b.data[r][idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// Contains reports whether the key may have been added (no false
+// negatives; false positives possible).
+func (b *BloomFilter) Contains(key uint64) bool {
+	for r := 0; r < b.rows; r++ {
+		idx := hashUint(key, uint64(r)) % uint64(b.bits)
+		if b.data[r][idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryBits returns the filter's register footprint.
+func (b *BloomFilter) MemoryBits() int64 { return int64(b.rows) * int64(b.bits) }
+
+// KVStore is a partitioned on-switch key-value cache in the NetCache
+// style: parts×slots direct-indexed entries, each holding one key and
+// value; a colliding insert evicts.
+type KVStore struct {
+	parts, slots int
+	keys         [][]uint64
+	vals         [][]uint64
+	used         [][]bool
+}
+
+// NewKVStore allocates a store of parts partitions with slots entries
+// each.
+func NewKVStore(parts, slots int) (*KVStore, error) {
+	if parts <= 0 || slots <= 0 {
+		return nil, fmt.Errorf("structures: invalid KV shape %dx%d", parts, slots)
+	}
+	s := &KVStore{parts: parts, slots: slots}
+	s.keys = make([][]uint64, parts)
+	s.vals = make([][]uint64, parts)
+	s.used = make([][]bool, parts)
+	for i := 0; i < parts; i++ {
+		s.keys[i] = make([]uint64, slots)
+		s.vals[i] = make([]uint64, slots)
+		s.used[i] = make([]bool, slots)
+	}
+	return s, nil
+}
+
+// Capacity returns the total item capacity.
+func (s *KVStore) Capacity() int { return s.parts * s.slots }
+
+func (s *KVStore) slot(key uint64) (int, int) {
+	part := int(hashUint(key, 977) % uint64(s.parts))
+	idx := int(hashUint(key, uint64(16+part)) % uint64(s.slots))
+	return part, idx
+}
+
+// Get returns the cached value for key.
+func (s *KVStore) Get(key uint64) (uint64, bool) {
+	p, i := s.slot(key)
+	if s.used[p][i] && s.keys[p][i] == key {
+		return s.vals[p][i], true
+	}
+	return 0, false
+}
+
+// Put inserts or overwrites the key's slot (evicting any collider),
+// mirroring controller-driven cache insertion.
+func (s *KVStore) Put(key, val uint64) {
+	p, i := s.slot(key)
+	s.keys[p][i] = key
+	s.vals[p][i] = val
+	s.used[p][i] = true
+}
+
+// Delete removes the key if present.
+func (s *KVStore) Delete(key uint64) {
+	p, i := s.slot(key)
+	if s.used[p][i] && s.keys[p][i] == key {
+		s.used[p][i] = false
+	}
+}
+
+// MemoryBits returns the store's register footprint (32-bit value
+// handles plus 32-bit key digests, matching the elastic module).
+func (s *KVStore) MemoryBits() int64 {
+	return int64(s.parts) * int64(s.slots) * 64
+}
+
+// HashTable is a multi-stage probe table in the Precision style: each
+// of `stages` register pairs holds (key, counter) entries; an update
+// probes each stage for its key, incrementing on match, claiming an
+// empty slot otherwise, and reports whether the key landed anywhere.
+type HashTable struct {
+	stages, slots int
+	keys          [][]uint64
+	counts        [][]uint64
+	used          [][]bool
+}
+
+// NewHashTable allocates a table with the given shape.
+func NewHashTable(stages, slots int) (*HashTable, error) {
+	if stages <= 0 || slots <= 0 {
+		return nil, fmt.Errorf("structures: invalid hash table shape %dx%d", stages, slots)
+	}
+	t := &HashTable{stages: stages, slots: slots}
+	t.keys = make([][]uint64, stages)
+	t.counts = make([][]uint64, stages)
+	t.used = make([][]bool, stages)
+	for i := 0; i < stages; i++ {
+		t.keys[i] = make([]uint64, slots)
+		t.counts[i] = make([]uint64, slots)
+		t.used[i] = make([]bool, slots)
+	}
+	return t, nil
+}
+
+// Update counts one occurrence of key, returning its counter value and
+// whether the key is tracked (false when every probed slot is taken by
+// other keys).
+func (t *HashTable) Update(key uint64) (uint64, bool) {
+	for s := 0; s < t.stages; s++ {
+		idx := hashUint(key, uint64(s)) % uint64(t.slots)
+		switch {
+		case t.used[s][idx] && t.keys[s][idx] == key:
+			t.counts[s][idx]++
+			return t.counts[s][idx], true
+		case !t.used[s][idx]:
+			t.used[s][idx] = true
+			t.keys[s][idx] = key
+			t.counts[s][idx] = 1
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// Count returns the tracked count for key (0 if untracked).
+func (t *HashTable) Count(key uint64) uint64 {
+	for s := 0; s < t.stages; s++ {
+		idx := hashUint(key, uint64(s)) % uint64(t.slots)
+		if t.used[s][idx] && t.keys[s][idx] == key {
+			return t.counts[s][idx]
+		}
+	}
+	return 0
+}
+
+// MemoryBits returns the table's register footprint (64-bit key plus
+// 64-bit count per slot).
+func (t *HashTable) MemoryBits() int64 {
+	return int64(t.stages) * int64(t.slots) * 128
+}
+
+// HierarchicalSketch stacks per-bit-level count-min sketches in the
+// SketchLearn style: level 0 counts every packet; level k counts
+// packets whose key has bit k-1 set. Bit-level frequency ratios then
+// separate large flows from noise.
+type HierarchicalSketch struct {
+	levels  []*CountMinSketch
+	keyBits int
+}
+
+// NewHierarchicalSketch builds keyBits+1 levels of rows×cols sketches.
+func NewHierarchicalSketch(keyBits, rows, cols int) (*HierarchicalSketch, error) {
+	if keyBits <= 0 || keyBits > 64 {
+		return nil, fmt.Errorf("structures: invalid key bits %d", keyBits)
+	}
+	h := &HierarchicalSketch{keyBits: keyBits}
+	for l := 0; l <= keyBits; l++ {
+		cms, err := NewCountMinSketch(rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, cms)
+	}
+	return h, nil
+}
+
+// Update records one packet of the key at every matching level.
+func (h *HierarchicalSketch) Update(key uint64) {
+	h.levels[0].Update(key)
+	for b := 0; b < h.keyBits; b++ {
+		if key&(1<<b) != 0 {
+			h.levels[b+1].Update(key)
+		}
+	}
+}
+
+// BitRatio returns p[b] = est(level b+1)/est(level 0) for the key, the
+// per-bit statistics SketchLearn's model inference consumes.
+func (h *HierarchicalSketch) BitRatio(key uint64) []float64 {
+	total := h.levels[0].Estimate(key)
+	out := make([]float64, h.keyBits)
+	if total == 0 {
+		return out
+	}
+	for b := 0; b < h.keyBits; b++ {
+		out[b] = float64(h.levels[b+1].Estimate(key)) / float64(total)
+	}
+	return out
+}
+
+// MemoryBits returns the stack's total register footprint.
+func (h *HierarchicalSketch) MemoryBits() int64 {
+	var total int64
+	for _, l := range h.levels {
+		total += l.MemoryBits()
+	}
+	return total
+}
+
+// IDTable is a direct ID-indexed table (Figure 1's "ID indexed table",
+// used by Blink): a dense array of per-ID state.
+type IDTable struct {
+	vals []uint64
+	set  []bool
+}
+
+// NewIDTable allocates a table for IDs in [0, size).
+func NewIDTable(size int) (*IDTable, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("structures: invalid ID table size %d", size)
+	}
+	return &IDTable{vals: make([]uint64, size), set: make([]bool, size)}, nil
+}
+
+// Set stores state for an ID; out-of-range IDs report false.
+func (t *IDTable) Set(id int, v uint64) bool {
+	if id < 0 || id >= len(t.vals) {
+		return false
+	}
+	t.vals[id] = v
+	t.set[id] = true
+	return true
+}
+
+// Get loads state for an ID.
+func (t *IDTable) Get(id int) (uint64, bool) {
+	if id < 0 || id >= len(t.vals) || !t.set[id] {
+		return 0, false
+	}
+	return t.vals[id], true
+}
+
+// MemoryBits returns the table's register footprint.
+func (t *IDTable) MemoryBits() int64 { return int64(len(t.vals)) * 64 }

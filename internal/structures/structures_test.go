@@ -1,0 +1,371 @@
+package structures
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCMSNeverUnderestimates(t *testing.T) {
+	cms, err := NewCountMinSketch(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(500))
+		cms.Update(key)
+		truth[key]++
+	}
+	for key, want := range truth {
+		if got := cms.Estimate(key); got < want {
+			t.Fatalf("CMS underestimates key %d: %d < %d", key, got, want)
+		}
+	}
+}
+
+func TestCMSExactWhenSparse(t *testing.T) {
+	// With few keys and a wide sketch, estimates should be exact.
+	cms, _ := NewCountMinSketch(4, 1<<16)
+	for k := uint64(0); k < 16; k++ {
+		for i := uint64(0); i <= k; i++ {
+			cms.Update(k)
+		}
+	}
+	for k := uint64(0); k < 16; k++ {
+		if got := cms.Estimate(k); got != uint32(k+1) {
+			t.Errorf("key %d estimate = %d, want %d", k, got, k+1)
+		}
+	}
+}
+
+func TestCMSAccuracyImprovesWithWidth(t *testing.T) {
+	load := func(cols int) float64 {
+		cms, _ := NewCountMinSketch(2, cols)
+		rng := rand.New(rand.NewSource(7))
+		truth := map[uint64]uint32{}
+		for i := 0; i < 50000; i++ {
+			key := uint64(rng.Intn(5000))
+			cms.Update(key)
+			truth[key]++
+		}
+		var errSum float64
+		for key, want := range truth {
+			errSum += float64(cms.Estimate(key) - want)
+		}
+		return errSum / float64(len(truth))
+	}
+	narrow, wide := load(256), load(8192)
+	if wide >= narrow {
+		t.Errorf("mean overestimate with 8192 cols (%.2f) not better than 256 cols (%.2f)", wide, narrow)
+	}
+}
+
+func TestCMSReset(t *testing.T) {
+	cms, _ := NewCountMinSketch(2, 64)
+	cms.Update(42)
+	cms.Reset()
+	if got := cms.Estimate(42); got != 0 {
+		t.Errorf("estimate after reset = %d, want 0", got)
+	}
+}
+
+func TestCMSInvalidShape(t *testing.T) {
+	if _, err := NewCountMinSketch(0, 10); err == nil {
+		t.Error("accepted zero rows")
+	}
+	if _, err := NewCountMinSketch(1, 0); err == nil {
+		t.Error("accepted zero cols")
+	}
+}
+
+func TestQuickCMSLowerBound(t *testing.T) {
+	// Property: estimate(key) >= true count for any update sequence.
+	f := func(keys []uint8) bool {
+		cms, _ := NewCountMinSketch(3, 128)
+		truth := map[uint64]uint32{}
+		for _, k := range keys {
+			cms.Update(uint64(k))
+			truth[uint64(k)]++
+		}
+		for k, want := range truth {
+			if cms.Estimate(k) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint16) bool {
+		bf, _ := NewBloomFilter(3, 512)
+		for _, k := range keys {
+			bf.Add(uint64(k))
+		}
+		for _, k := range keys {
+			if !bf.Contains(uint64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRateShrinksWithBits(t *testing.T) {
+	rate := func(bits int) float64 {
+		bf, _ := NewBloomFilter(2, bits)
+		for k := uint64(0); k < 500; k++ {
+			bf.Add(k)
+		}
+		fp := 0
+		const probes = 5000
+		for k := uint64(10000); k < 10000+probes; k++ {
+			if bf.Contains(k) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	small, large := rate(1024), rate(64*1024)
+	if large >= small {
+		t.Errorf("fp rate with 64k bits (%.4f) not better than 1k bits (%.4f)", large, small)
+	}
+}
+
+func TestBloomEmpty(t *testing.T) {
+	bf, _ := NewBloomFilter(4, 256)
+	for k := uint64(0); k < 100; k++ {
+		if bf.Contains(k) {
+			t.Fatalf("empty filter claims to contain %d", k)
+		}
+	}
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	s, err := NewKVStore(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 4096 {
+		t.Errorf("capacity = %d, want 4096", s.Capacity())
+	}
+	s.Put(1, 100)
+	s.Put(2, 200)
+	if v, ok := s.Get(1); !ok || v != 100 {
+		t.Errorf("Get(1) = %d, %v", v, ok)
+	}
+	if v, ok := s.Get(2); !ok || v != 200 {
+		t.Errorf("Get(2) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get(3); ok {
+		t.Error("Get(3) should miss")
+	}
+	s.Delete(1)
+	if _, ok := s.Get(1); ok {
+		t.Error("Get(1) after delete should miss")
+	}
+	s.Delete(999) // absent delete is a no-op
+}
+
+func TestKVStoreOverwriteAndCollision(t *testing.T) {
+	s, _ := NewKVStore(1, 1)
+	s.Put(7, 70)
+	s.Put(7, 71)
+	if v, _ := s.Get(7); v != 71 {
+		t.Errorf("overwrite failed: %d", v)
+	}
+	// Any other key maps to the same single slot: eviction.
+	s.Put(8, 80)
+	if _, ok := s.Get(7); ok {
+		t.Error("evicted key still present")
+	}
+	if v, ok := s.Get(8); !ok || v != 80 {
+		t.Errorf("evicting key missing: %d %v", v, ok)
+	}
+}
+
+func TestQuickKVStoreGetAfterPut(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s, _ := NewKVStore(8, 4096)
+		// Insert distinct keys; collisions may evict, so track the
+		// last writer per slot.
+		type slotKey struct{ p, i int }
+		lastWriter := map[slotKey]uint64{}
+		for _, k := range keys {
+			s.Put(uint64(k), uint64(k)*3)
+			p, i := s.slot(uint64(k))
+			lastWriter[slotKey{p, i}] = uint64(k)
+		}
+		for _, owner := range lastWriter {
+			v, ok := s.Get(owner)
+			if !ok || v != owner*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTableTracksUntilFull(t *testing.T) {
+	ht, err := NewHashTable(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := 0
+	for k := uint64(0); k < 64; k++ {
+		if _, ok := ht.Update(k); ok {
+			tracked++
+		}
+	}
+	if tracked == 0 || tracked > 8 {
+		t.Errorf("tracked %d keys in a 8-slot table", tracked)
+	}
+	// Updates to a tracked key keep counting.
+	var trackedKey uint64 = ^uint64(0)
+	for k := uint64(0); k < 64; k++ {
+		if ht.Count(k) > 0 {
+			trackedKey = k
+			break
+		}
+	}
+	if trackedKey == ^uint64(0) {
+		t.Fatal("no tracked key found")
+	}
+	before := ht.Count(trackedKey)
+	ht.Update(trackedKey)
+	if got := ht.Count(trackedKey); got != before+1 {
+		t.Errorf("count = %d, want %d", got, before+1)
+	}
+}
+
+func TestQuickHashTableCountsExact(t *testing.T) {
+	// Property: for tracked keys, the table's count equals the true
+	// count (Precision's tables are exact for admitted flows).
+	f := func(keys []uint8) bool {
+		ht, _ := NewHashTable(4, 64)
+		truth := map[uint64]uint64{}
+		admitted := map[uint64]bool{}
+		for _, k := range keys {
+			key := uint64(k)
+			if _, ok := ht.Update(key); ok {
+				admitted[key] = true
+			}
+			truth[key]++
+		}
+		for key := range admitted {
+			// Admission may have happened after some misses, so
+			// count <= truth; but it must never exceed it.
+			if ht.Count(key) > truth[key] {
+				return false
+			}
+			if ht.Count(key) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalSketchBitRatios(t *testing.T) {
+	hs, err := NewHierarchicalSketch(8, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single dominant key: its bit ratios should be ~1 for set bits
+	// and ~0 for clear bits.
+	key := uint64(0b10110101)
+	for i := 0; i < 1000; i++ {
+		hs.Update(key)
+	}
+	ratios := hs.BitRatio(key)
+	for b := 0; b < 8; b++ {
+		want := 0.0
+		if key&(1<<b) != 0 {
+			want = 1.0
+		}
+		if ratios[b] < want-0.05 || ratios[b] > want+0.05 {
+			t.Errorf("bit %d ratio = %.3f, want ~%.1f", b, ratios[b], want)
+		}
+	}
+}
+
+func TestHierarchicalSketchMemory(t *testing.T) {
+	hs, _ := NewHierarchicalSketch(4, 2, 128)
+	// 5 levels * 2 rows * 128 cols * 32 bits.
+	if got := hs.MemoryBits(); got != 5*2*128*32 {
+		t.Errorf("memory = %d, want %d", got, 5*2*128*32)
+	}
+}
+
+func TestIDTable(t *testing.T) {
+	tb, err := NewIDTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Set(3, 33) {
+		t.Error("Set(3) failed")
+	}
+	if v, ok := tb.Get(3); !ok || v != 33 {
+		t.Errorf("Get(3) = %d, %v", v, ok)
+	}
+	if _, ok := tb.Get(4); ok {
+		t.Error("Get(4) should be unset")
+	}
+	if tb.Set(16, 1) || tb.Set(-1, 1) {
+		t.Error("out-of-range Set accepted")
+	}
+	if _, ok := tb.Get(99); ok {
+		t.Error("out-of-range Get accepted")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	cms, _ := NewCountMinSketch(3, 100)
+	if cms.MemoryBits() != 3*100*32 {
+		t.Errorf("CMS memory = %d", cms.MemoryBits())
+	}
+	bf, _ := NewBloomFilter(2, 1000)
+	if bf.MemoryBits() != 2000 {
+		t.Errorf("Bloom memory = %d", bf.MemoryBits())
+	}
+	kv, _ := NewKVStore(2, 10)
+	if kv.MemoryBits() != 2*10*64 {
+		t.Errorf("KV memory = %d", kv.MemoryBits())
+	}
+	ht, _ := NewHashTable(2, 10)
+	if ht.MemoryBits() != 2*10*128 {
+		t.Errorf("hash table memory = %d", ht.MemoryBits())
+	}
+	id, _ := NewIDTable(8)
+	if id.MemoryBits() != 8*64 {
+		t.Errorf("ID table memory = %d", id.MemoryBits())
+	}
+}
+
+func TestHashIndependenceAcrossRows(t *testing.T) {
+	// Two rows should disagree on placement for most keys.
+	same := 0
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		if hashUint(k, 0)%1024 == hashUint(k, 1)%1024 {
+			same++
+		}
+	}
+	if same > n/100 { // expect ~n/1024
+		t.Errorf("rows collide on %d/%d keys; hashes not independent", same, n)
+	}
+}

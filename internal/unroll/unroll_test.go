@@ -1,0 +1,284 @@
+package unroll
+
+import (
+	"testing"
+
+	"p4all/internal/lang"
+	"p4all/internal/pisa"
+)
+
+const cmsSource = `
+symbolic int rows;
+symbolic int cols;
+
+header flow_t { bit<32> id; }
+
+struct meta {
+    bit<32>[rows] index;
+    bit<32>[rows] count;
+    bit<32> min;
+}
+
+register<bit<32>>[cols][rows] cms;
+
+action incr()[int i] {
+    meta.index[i] = hash(flow_t.id, i) % cols;
+    cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+    meta.count[i] = cms[i][meta.index[i]];
+}
+
+action set_min()[int i] {
+    meta.min = meta.count[i];
+}
+
+control main {
+    apply {
+        for (i < rows) { incr()[i]; }
+        for (i < rows) {
+            if (meta.count[i] < meta.min) { set_min()[i]; }
+        }
+    }
+}
+`
+
+func resolve(t *testing.T, src string) *lang.Unit {
+	t.Helper()
+	u, err := lang.ParseAndResolve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestFigure9Bound: on the §4 running-example target (S=3), the CMS
+// loop unrolls exactly twice — the paper's Figure 9 result.
+func TestFigure9Bound(t *testing.T) {
+	u := resolve(t, cmsSource)
+	tgt := pisa.RunningExampleTarget()
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := u.SymbolicByName("rows")
+	if got := res.LoopBound[rows]; got != 2 {
+		t.Errorf("rows bound = %d, want 2 (Figure 9)\n%s", got, res)
+	}
+	if res.Details[rows].Why != ReasonPath {
+		t.Errorf("bound reason = %s, want path", res.Details[rows].Why)
+	}
+}
+
+// TestEvalTargetBound: on the 10-stage evaluation target, the chain
+// incr_1 -> min_1 ... min_K fits while K+1 <= 10, so the bound is 9.
+func TestEvalTargetBound(t *testing.T) {
+	u := resolve(t, cmsSource)
+	tgt := pisa.EvalTarget(pisa.Mb)
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LoopBound[u.SymbolicByName("rows")]; got != 9 {
+		t.Errorf("rows bound = %d, want 9 on a 10-stage target\n%s", got, res)
+	}
+}
+
+func TestAssumeTightensBound(t *testing.T) {
+	src := cmsSource + "\nassume rows <= 4;\n"
+	u := resolve(t, src)
+	tgt := pisa.EvalTarget(pisa.Mb)
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := u.SymbolicByName("rows")
+	if got := res.LoopBound[rows]; got != 4 {
+		t.Errorf("rows bound = %d, want 4 (assume)", got)
+	}
+	if res.Details[rows].Why != ReasonAssume {
+		t.Errorf("reason = %s, want assume", res.Details[rows].Why)
+	}
+}
+
+func TestAssumeBoundsExtraction(t *testing.T) {
+	src := `
+symbolic int a;
+symbolic int b;
+symbolic int c;
+const int LIM = 6;
+assume a >= 2 && a <= 5;
+assume 3 < b;
+assume b < LIM;
+assume c == 4;
+assume a * b <= 100;
+control main { apply { } }
+`
+	u := resolve(t, src)
+	bounds := AssumeBounds(u)
+	a, b, c := u.SymbolicByName("a"), u.SymbolicByName("b"), u.SymbolicByName("c")
+	if bounds[a] != (Bound{Lo: 2, Hi: 5}) {
+		t.Errorf("a bounds = %+v, want [2,5]", bounds[a])
+	}
+	if bounds[b] != (Bound{Lo: 4, Hi: 5}) {
+		t.Errorf("b bounds = %+v, want [4,5]", bounds[b])
+	}
+	if bounds[c] != (Bound{Lo: 4, Hi: 4}) {
+		t.Errorf("c bounds = %+v, want [4,4]", bounds[c])
+	}
+}
+
+// TestALUCriterion: a loop body with no cross-iteration dependencies
+// is bounded by the ALU budget, not the path criterion.
+func TestALUCriterion(t *testing.T) {
+	src := `
+symbolic int n;
+symbolic int sz;
+header h { bit<32> key; }
+struct meta { bit<32>[n] idx; }
+register<bit<32>>[sz][n] tbl;
+action put()[int i] {
+    meta.idx[i] = hash(h.key, i) % sz;
+    tbl[i][meta.idx[i]] = tbl[i][meta.idx[i]] + 1;
+}
+control main { apply { for (i < n) { put()[i]; } } }
+`
+	u := resolve(t, src)
+	// Stateful ALU budget: F=1 per stage, 3 stages -> at most 3 put
+	// instances (each needs one stateful ALU).
+	tgt := pisa.Target{Name: "tiny", Stages: 3, MemoryBits: 1 << 20, StatefulALUs: 1, StatelessALUs: 100, PHVBits: 4096}
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := u.SymbolicByName("n")
+	if got := res.LoopBound[n]; got != 3 {
+		t.Errorf("n bound = %d, want 3 (F*S stateful ALUs)\n%s", got, res)
+	}
+	if res.Details[n].Why != ReasonALU {
+		t.Errorf("reason = %s, want alu", res.Details[n].Why)
+	}
+}
+
+// TestMemoryCriterion: iterations each demanding a full row of memory
+// stop when the total memory budget is exhausted.
+func TestMemoryCriterion(t *testing.T) {
+	src := `
+symbolic int n;
+header h { bit<32> key; }
+struct meta { bit<32>[n] idx; }
+register<bit<32>>[1024][n] tbl;
+action put()[int i] {
+    meta.idx[i] = hash(h.key, i) % 1024;
+    tbl[i][meta.idx[i]] = tbl[i][meta.idx[i]] + 1;
+}
+control main { apply { for (i < n) { put()[i]; } } }
+`
+	u := resolve(t, src)
+	// Each iteration needs 1024*32 = 32768 bits; 2 stages x 40000 bits
+	// fit at most 2 iterations.
+	tgt := pisa.Target{Name: "tiny", Stages: 2, MemoryBits: 40000, StatefulALUs: 8, StatelessALUs: 100, PHVBits: 65536}
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := u.SymbolicByName("n")
+	if got := res.LoopBound[n]; got != 2 {
+		t.Errorf("n bound = %d, want 2 (memory)\n%s", got, res)
+	}
+	if res.Details[n].Why != ReasonMemory {
+		t.Errorf("reason = %s, want memory", res.Details[n].Why)
+	}
+}
+
+func TestSizeBound(t *testing.T) {
+	u := resolve(t, cmsSource)
+	tgt := pisa.RunningExampleTarget() // M = 2048 bits/stage
+	cols := u.SymbolicByName("cols")
+	if got := SizeBound(u, cols, &tgt); got != 2048/32 {
+		t.Errorf("cols size bound = %d, want 64 (M/width)", got)
+	}
+	tgt.AllowRegisterSpread = true
+	if got := SizeBound(u, cols, &tgt); got != 3*2048/32 {
+		t.Errorf("cols size bound with spread = %d, want 192 (M*S/width)", got)
+	}
+}
+
+func TestSizeBoundAssumeCaps(t *testing.T) {
+	src := cmsSource + "\nassume cols <= 32;\n"
+	u := resolve(t, src)
+	tgt := pisa.RunningExampleTarget()
+	if got := SizeBound(u, u.SymbolicByName("cols"), &tgt); got != 32 {
+		t.Errorf("cols bound = %d, want 32 (assume)", got)
+	}
+}
+
+func TestHardCapOnDegenerateLoop(t *testing.T) {
+	// A loop whose body touches per-iteration state only: no
+	// cross-iteration path, tiny ALU demand. The hard cap must stop
+	// the search.
+	src := `
+symbolic int n;
+struct meta { bit<32>[n] v; }
+action set()[int i] { meta.v[i] = 1; }
+control main { apply { for (i < n) { set()[i]; } } }
+`
+	u := resolve(t, src)
+	tgt := pisa.Target{Name: "wide", Stages: 2, MemoryBits: 1 << 20, StatefulALUs: 2, StatelessALUs: 4, PHVBits: 1 << 20}
+	res, err := UpperBounds(u, &tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := u.SymbolicByName("n")
+	// Each instance needs one stateless ALU: bound = L*S = 8 via ALU
+	// criterion (before the cap, which is (F+L)*S+1 = 13).
+	if got := res.LoopBound[n]; got != 8 {
+		t.Errorf("n bound = %d, want 8\n%s", got, res)
+	}
+}
+
+func TestInvalidTargetRejected(t *testing.T) {
+	u := resolve(t, cmsSource)
+	bad := pisa.Target{Name: "bad"}
+	if _, err := UpperBounds(u, &bad); err == nil {
+		t.Error("UpperBounds accepted an invalid target")
+	}
+}
+
+// TestQuickBoundMonotoneInStages: adding pipeline stages can never
+// shrink an unroll bound (the path and ALU budgets both grow with S).
+func TestQuickBoundMonotoneInStages(t *testing.T) {
+	u := resolve(t, cmsSource)
+	rows := u.SymbolicByName("rows")
+	prev := 0
+	for s := 2; s <= 12; s++ {
+		tgt := pisa.Target{Name: "mono", Stages: s, MemoryBits: 1 << 20, StatefulALUs: 2, StatelessALUs: 8, PHVBits: 1 << 16}
+		res, err := UpperBounds(u, &tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.LoopBound[rows]
+		if k < prev {
+			t.Errorf("bound shrank from %d to %d when stages grew to %d", prev, k, s)
+		}
+		prev = k
+	}
+}
+
+// TestQuickBoundMonotoneInALUs: more ALUs per stage never shrink the
+// bound either.
+func TestQuickBoundMonotoneInALUs(t *testing.T) {
+	u := resolve(t, cmsSource)
+	rows := u.SymbolicByName("rows")
+	prev := 0
+	for f := 1; f <= 8; f++ {
+		tgt := pisa.Target{Name: "mono", Stages: 6, MemoryBits: 1 << 20, StatefulALUs: f, StatelessALUs: 2 * f, PHVBits: 1 << 16}
+		res, err := UpperBounds(u, &tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.LoopBound[rows]
+		if k < prev {
+			t.Errorf("bound shrank from %d to %d when F grew to %d", prev, k, f)
+		}
+		prev = k
+	}
+}

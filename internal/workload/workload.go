@@ -1,0 +1,157 @@
+// Package workload generates the synthetic traffic the evaluation
+// drives through compiled programs: Zipf-distributed key requests (the
+// NetCache workload behind the paper's Figure 4 quality surface) and
+// flow-level packet traces for the monitoring applications.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ZipfKeys samples n key requests over a universe of `keys` keys with
+// Zipf skew s (s=0 degenerates to uniform). Key IDs are returned in
+// popularity rank order: key 0 is the hottest.
+func ZipfKeys(seed int64, keys int, s float64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	if s <= 0 {
+		for i := range out {
+			out[i] = uint64(rng.Intn(keys))
+		}
+		return out
+	}
+	// rand.Zipf requires s > 1; below that, sample by inverse CDF over
+	// precomputed weights.
+	if s > 1 {
+		z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+		for i := range out {
+			out[i] = z.Uint64()
+		}
+		return out
+	}
+	cdf := zipfCDF(keys, s)
+	for i := range out {
+		out[i] = uint64(searchCDF(cdf, rng.Float64()))
+	}
+	return out
+}
+
+// zipfCDF builds the cumulative distribution of a Zipf(s) law over
+// ranks 1..n.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Packet is one synthetic packet: a flow key and a byte length.
+type Packet struct {
+	Flow uint64
+	Len  int
+}
+
+// TraceConfig parameterizes a flow trace.
+type TraceConfig struct {
+	Seed    int64
+	Flows   int     // flow universe size
+	Skew    float64 // Zipf skew of flow sizes
+	Packets int     // total packets
+	MinLen  int     // minimum packet length (default 64)
+	MaxLen  int     // maximum packet length (default 1500)
+}
+
+// Trace generates a packet trace with Zipf-skewed flow popularity.
+func Trace(cfg TraceConfig) []Packet {
+	if cfg.MinLen == 0 {
+		cfg.MinLen = 64
+	}
+	if cfg.MaxLen == 0 {
+		cfg.MaxLen = 1500
+	}
+	if cfg.MaxLen < cfg.MinLen {
+		cfg.MaxLen = cfg.MinLen
+	}
+	keys := ZipfKeys(cfg.Seed, cfg.Flows, cfg.Skew, cfg.Packets)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	out := make([]Packet, cfg.Packets)
+	for i, k := range keys {
+		out[i] = Packet{Flow: k, Len: cfg.MinLen + rng.Intn(cfg.MaxLen-cfg.MinLen+1)}
+	}
+	return out
+}
+
+// TrueCounts tallies exact per-flow packet counts for a trace.
+func TrueCounts(trace []Packet) map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for _, p := range trace {
+		out[p.Flow]++
+	}
+	return out
+}
+
+// TopK returns the k most frequent flows of a trace, hottest first.
+func TopK(trace []Packet, k int) []uint64 {
+	counts := TrueCounts(trace)
+	type fc struct {
+		f uint64
+		c uint64
+	}
+	all := make([]fc, 0, len(counts))
+	for f, c := range counts {
+		all = append(all, fc{f, c})
+	}
+	// Selection sort of the top k (k is small in the evaluation).
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].c > all[best].c || (all[j].c == all[best].c && all[j].f < all[best].f) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].f
+	}
+	return out
+}
+
+// Validate sanity-checks a trace configuration.
+func (cfg TraceConfig) Validate() error {
+	if cfg.Flows <= 0 {
+		return fmt.Errorf("workload: flows must be positive, got %d", cfg.Flows)
+	}
+	if cfg.Packets < 0 {
+		return fmt.Errorf("workload: packets must be non-negative, got %d", cfg.Packets)
+	}
+	if cfg.Skew < 0 {
+		return fmt.Errorf("workload: skew must be non-negative, got %g", cfg.Skew)
+	}
+	return nil
+}

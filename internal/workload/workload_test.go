@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfKeysDeterministic(t *testing.T) {
+	a := ZipfKeys(42, 1000, 1.0, 5000)
+	b := ZipfKeys(42, 1000, 1.0, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := ZipfKeys(43, 1000, 1.0, 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	frac := func(s float64) float64 {
+		keys := ZipfKeys(7, 10000, s, 100000)
+		hot := 0
+		for _, k := range keys {
+			if k < 100 { // top 1% of ranks
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(keys))
+	}
+	uniform, skewed := frac(0), frac(1.2)
+	if skewed < 4*uniform {
+		t.Errorf("Zipf(1.2) top-1%% share %.3f not clearly above uniform %.3f", skewed, uniform)
+	}
+}
+
+func TestZipfRankOrder(t *testing.T) {
+	// Lower ranks must be (statistically) more frequent.
+	keys := ZipfKeys(3, 1000, 1.0, 200000)
+	counts := make([]int, 1000)
+	for _, k := range keys {
+		counts[k]++
+	}
+	if !(counts[0] > counts[10] && counts[10] > counts[200]) {
+		t.Errorf("rank order violated: c0=%d c10=%d c200=%d", counts[0], counts[10], counts[200])
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	f := func(seed int64, skew8 uint8) bool {
+		s := float64(skew8%30) / 10 // 0.0 .. 2.9
+		keys := ZipfKeys(seed, 64, s, 500)
+		for _, k := range keys {
+			if k >= 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceLengthsAndFlows(t *testing.T) {
+	cfg := TraceConfig{Seed: 1, Flows: 100, Skew: 1.1, Packets: 1000, MinLen: 64, MaxLen: 1500}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := Trace(cfg)
+	if len(tr) != 1000 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	for _, p := range tr {
+		if p.Flow >= 100 {
+			t.Fatalf("flow %d out of range", p.Flow)
+		}
+		if p.Len < 64 || p.Len > 1500 {
+			t.Fatalf("length %d out of range", p.Len)
+		}
+	}
+}
+
+func TestTraceDefaults(t *testing.T) {
+	tr := Trace(TraceConfig{Seed: 2, Flows: 10, Packets: 50})
+	for _, p := range tr {
+		if p.Len < 64 || p.Len > 1500 {
+			t.Fatalf("default length bounds violated: %d", p.Len)
+		}
+	}
+}
+
+func TestTrueCountsAndTopK(t *testing.T) {
+	tr := []Packet{{Flow: 1}, {Flow: 2}, {Flow: 1}, {Flow: 3}, {Flow: 1}, {Flow: 2}}
+	counts := TrueCounts(tr)
+	if counts[1] != 3 || counts[2] != 2 || counts[3] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	top := TopK(tr, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopK = %v, want [1 2]", top)
+	}
+	if got := TopK(tr, 10); len(got) != 3 {
+		t.Errorf("TopK clamped = %v", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []TraceConfig{
+		{Flows: 0, Packets: 1},
+		{Flows: 10, Packets: -1},
+		{Flows: 10, Packets: 1, Skew: -0.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	cdf := zipfCDF(100, 0.9)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-12 {
+		t.Errorf("CDF tail = %g, want 1", cdf[len(cdf)-1])
+	}
+}
