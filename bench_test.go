@@ -17,6 +17,7 @@ import (
 	"p4all/internal/ilpgen"
 	"p4all/internal/lang"
 	"p4all/internal/modules"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 	"p4all/internal/unroll"
 	"p4all/internal/workload"
@@ -256,6 +257,23 @@ func BenchmarkCompileCMS(b *testing.B) {
 	tgt := pisa.EvalTarget(pisa.Mb)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Compile(modules.StandaloneCMS(), tgt, core.Options{SkipCodegen: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCMSTraced measures the same compile with tracing
+// enabled into a discarding sink — the enabled-path instrumentation
+// overhead (span allocation, attribute capture, solver progress
+// events) without serialization cost. Compare against
+// BenchmarkCompileCMS; the disabled path (nil Tracer) is what every
+// other benchmark measures.
+func BenchmarkCompileCMSTraced(b *testing.B) {
+	tgt := pisa.EvalTarget(pisa.Mb)
+	tr := obs.New(obs.NopSink{})
+	defer tr.Close()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(modules.StandaloneCMS(), tgt, core.Options{SkipCodegen: true, Tracer: tr}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"p4all/internal/apps"
 	"p4all/internal/core"
 	"p4all/internal/eval"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 )
 
@@ -26,13 +27,21 @@ func main() {
 		requests = flag.Int("requests", 400000, "request count")
 		zipf     = flag.Float64("zipf", 0.95, "request skew")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		trace    = flag.String("trace", "", "write a JSONL trace of the shape compile and simulation to this file")
+		summary  = flag.Bool("summary", false, "print an observability summary table to stderr")
 	)
 	flag.Parse()
+
+	tracer, err := obs.FromCLI(*trace, *summary, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netcachesim:", err)
+		os.Exit(1)
+	}
 
 	if *rows == 0 || *cols == 0 || *items == 0 {
 		fmt.Fprintln(os.Stderr, "compiling NetCache to obtain structure shapes...")
 		app := apps.NetCache(apps.NetCacheConfig{})
-		res, err := core.Compile(app.Source, pisa.EvalTarget(*mem), core.Options{SkipCodegen: true})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(*mem), core.Options{SkipCodegen: true, Tracer: tracer})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netcachesim:", err)
 			os.Exit(1)
@@ -62,6 +71,16 @@ func main() {
 		os.Exit(1)
 	}
 	p := pts[0]
+	tracer.Event("netcachesim.result",
+		obs.Int("cms_rows", p.CMSRows),
+		obs.Int("cms_cols", p.CMSCols),
+		obs.Int("kv_items", p.KVSlots),
+		obs.Int("requests", *requests),
+		obs.Float("hit_rate", p.HitRate),
+	)
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "netcachesim: trace:", err)
+	}
 	fmt.Printf("cms %dx%d (%d bits), kv %d items (%d bits): hit rate %.4f over %d requests\n",
 		p.CMSRows, p.CMSCols, int64(p.CMSRows*p.CMSCols)*32, p.KVSlots, int64(p.KVSlots)*64, p.HitRate, *requests)
 }

@@ -17,13 +17,27 @@ import (
 	"sort"
 
 	"p4all/internal/eval"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 )
+
+// tracer observes every compile the selected figures run; nil unless
+// -trace or -summary was given.
+var tracer *obs.Tracer
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, or all")
 	mem := flag.Int("mem", 7*pisa.Mb/4, "per-stage memory bits for single-target figures")
+	trace := flag.String("trace", "", "write a JSONL trace of every compile to this file (see docs/OBSERVABILITY.md)")
+	summary := flag.Bool("summary", false, "print an observability summary table to stderr")
 	flag.Parse()
+
+	var err error
+	tracer, err = obs.FromCLI(*trace, *summary, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4allbench:", err)
+		os.Exit(1)
+	}
 
 	run := func(name string, fn func() error) {
 		if *fig != "all" && *fig != name {
@@ -43,6 +57,10 @@ func main() {
 	run("11", func() error { return fig11(*mem) })
 	run("12", fig12)
 	run("13", func() error { return fig13(*mem) })
+
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "p4allbench: trace:", err)
+	}
 }
 
 func fig4() error {
@@ -65,7 +83,7 @@ func fig4() error {
 }
 
 func fig7(mem int) error {
-	res, err := eval.Figure7(mem)
+	res, err := eval.Figure7Traced(mem, tracer)
 	if err != nil {
 		return err
 	}
@@ -93,7 +111,7 @@ func fig9() error {
 }
 
 func fig11(mem int) error {
-	rows, err := eval.Figure11(mem)
+	rows, err := eval.Figure11Traced(mem, tracer)
 	if err != nil {
 		return err
 	}
@@ -120,7 +138,7 @@ func fig11(mem int) error {
 }
 
 func fig12() error {
-	pts, err := eval.Figure12(eval.DefaultFig12Mems())
+	pts, err := eval.Figure12Traced(eval.DefaultFig12Mems(), tracer)
 	if err != nil {
 		return err
 	}
@@ -135,7 +153,7 @@ func fig12() error {
 }
 
 func fig13(mem int) error {
-	rows, err := eval.Figure13(mem)
+	rows, err := eval.Figure13Traced(mem, tracer)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 //
 //	p4allc -target eval -mem 1835008 -layout prog.p4all
 //	p4allc -target spec.json -o prog.p4 prog.p4all
+//	p4allc -app netcache -trace trace.jsonl -summary
 package main
 
 import (
@@ -16,42 +17,48 @@ import (
 	"strings"
 	"time"
 
+	"p4all/internal/apps"
 	"p4all/internal/check"
 	"p4all/internal/core"
 	"p4all/internal/ilp"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 )
 
 func main() {
 	var (
-		targetFlag = flag.String("target", "eval", "target spec: builtin name (eval, running-example, tofino) or a JSON file path")
-		memFlag    = flag.Int("mem", 0, "override per-stage register memory (bits)")
-		outFlag    = flag.String("o", "", "write the generated P4 program to this file (default stdout)")
-		layoutFlag = flag.Bool("layout", false, "print the stage layout report")
-		statsFlag  = flag.Bool("stats", false, "print compile phases and ILP statistics")
-		exactFlag  = flag.Bool("exact", false, "prove optimality (no MIP gap; may be slow)")
-		gapFlag    = flag.Float64("gap", 0, "accepted optimality gap (default 0.02)")
-		timeFlag   = flag.Duration("timeout", 0, "solver time limit (default 90s)")
+		targetFlag  = flag.String("target", "eval", "target spec: builtin name (eval, running-example, tofino) or a JSON file path")
+		memFlag     = flag.Int("mem", 0, "override per-stage register memory (bits)")
+		outFlag     = flag.String("o", "", "write the generated P4 program to this file (default stdout)")
+		layoutFlag  = flag.Bool("layout", false, "print the stage layout report")
+		statsFlag   = flag.Bool("stats", false, "print compile phases and ILP statistics")
+		exactFlag   = flag.Bool("exact", false, "prove optimality (no MIP gap; may be slow)")
+		gapFlag     = flag.Float64("gap", 0, "accepted optimality gap (default 0.03)")
+		timeFlag    = flag.Duration("timeout", 0, "solver time limit (default 90s)")
+		appFlag     = flag.String("app", "", "compile a built-in benchmark app (netcache, sketchlearn, precision, conquest) instead of a source file")
+		traceFlag   = flag.String("trace", "", "write a JSONL pipeline trace to this file (see docs/OBSERVABILITY.md)")
+		summaryFlag = flag.Bool("summary", false, "print an observability summary table to stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4allc [flags] program.p4all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
 
+	src, err := loadSource(*appFlag)
+	if err != nil {
+		fatal(err)
+	}
 	target, err := resolveTarget(*targetFlag, *memFlag)
 	if err != nil {
 		fatal(err)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	tracer, err := obs.FromCLI(*traceFlag, *summaryFlag, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{}
+
+	opts := core.Options{Tracer: tracer}
 	if *exactFlag {
 		opts.Solver = ilp.Options{Gap: -1, NodeLimit: 1 << 20, TimeLimit: time.Hour}
 	}
@@ -61,7 +68,10 @@ func main() {
 	if *timeFlag > 0 {
 		opts.Solver.TimeLimit = *timeFlag
 	}
-	res, err := core.Compile(string(src), target, opts)
+	res, err := core.Compile(src, target, opts)
+	if cerr := tracer.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "p4allc: trace:", cerr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -84,6 +94,29 @@ func main() {
 	if err := os.WriteFile(*outFlag, []byte(res.P4), 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// loadSource returns the program text: a built-in benchmark app when
+// -app was given (no positional argument needed), else the single
+// positional source file.
+func loadSource(appName string) (string, error) {
+	if appName != "" {
+		if flag.NArg() != 0 {
+			return "", fmt.Errorf("-app %s and a source file are mutually exclusive", appName)
+		}
+		for _, app := range apps.All() {
+			if strings.EqualFold(app.Name, appName) {
+				return app.Source, nil
+			}
+		}
+		return "", fmt.Errorf("unknown app %q (builtin: netcache, sketchlearn, precision, conquest)", appName)
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	return string(src), err
 }
 
 func resolveTarget(spec string, memOverride int) (pisa.Target, error) {

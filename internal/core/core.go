@@ -10,16 +10,24 @@
 // The result carries everything the paper's evaluation reports:
 // per-phase times, ILP size (Figure 11), the layout (Figure 7), the
 // symbolic assignment (Figures 12/13), and the generated program.
+//
+// When Options.Tracer is set, the pipeline additionally emits one
+// obs.Span per phase (parse, bounds, generate, solve, codegen) under a
+// root "compile" span, with per-phase attributes (AST node counts,
+// chosen unroll bounds, ILP dimensions, solver effort) and solver
+// search-progress events; see docs/OBSERVABILITY.md for the schema.
 package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"p4all/internal/codegen"
 	"p4all/internal/ilp"
 	"p4all/internal/ilpgen"
 	"p4all/internal/lang"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 	"p4all/internal/unroll"
 )
@@ -34,6 +42,9 @@ type Options struct {
 	// SkipCodegen stops after solving (benchmarks that only need the
 	// layout).
 	SkipCodegen bool
+	// Tracer receives per-phase spans and solver progress events. Nil
+	// (the default) disables tracing at near-zero cost.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset solver knobs.
@@ -79,13 +90,20 @@ type Result struct {
 
 // Compile runs the full P4All pipeline on source for the target.
 func Compile(source string, target pisa.Target, opts Options) (*Result, error) {
+	root := opts.Tracer.StartSpan("compile", obs.String("target", target.Name))
+	defer root.End()
 	start := time.Now()
+	sp := root.Child("parse")
 	u, err := lang.ParseAndResolve(source)
 	if err != nil {
+		sp.SetAttrs(obs.String("error", err.Error()))
+		sp.End()
 		return nil, fmt.Errorf("p4all: front end: %w", err)
 	}
+	sp.SetAttrs(parseAttrs(u)...)
+	sp.End()
 	parse := time.Since(start)
-	res, err := CompileUnit(u, target, opts)
+	res, err := compileUnit(u, target, opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -96,41 +114,126 @@ func Compile(source string, target pisa.Target, opts Options) (*Result, error) {
 // CompileUnit compiles an already-resolved unit (used when the same
 // program is recompiled against many targets).
 func CompileUnit(u *lang.Unit, target pisa.Target, opts Options) (*Result, error) {
+	root := opts.Tracer.StartSpan("compile", obs.String("target", target.Name))
+	defer root.End()
+	return compileUnit(u, target, opts, root)
+}
+
+// compileUnit runs the back half of the pipeline (bounds → generate →
+// solve → codegen), attaching phase spans under root.
+func compileUnit(u *lang.Unit, target pisa.Target, opts Options, root *obs.Span) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Unit: u, Target: target}
 
 	start := time.Now()
+	sp := root.Child("bounds")
 	bounds, err := unroll.UpperBounds(u, &target)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("p4all: unroll bounds: %w", err)
 	}
+	sp.SetAttrs(boundsAttrs(bounds)...)
+	sp.End()
 	res.Bounds = bounds
 	res.Phases.Bounds = time.Since(start)
 
 	start = time.Now()
+	sp = root.Child("generate")
 	prog, err := ilpgen.Generate(u, &res.Target, bounds)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("p4all: ILP generation: %w", err)
 	}
+	sp.SetAttrs(
+		obs.Int("ilp_vars", prog.Model.NumVars()),
+		obs.Int("ilp_constrs", prog.Model.NumConstrs()),
+		obs.Int("dep_nodes", len(prog.Graph.Nodes)),
+	)
+	sp.End()
 	res.ILP = prog
 	res.Phases.Generate = time.Since(start)
 
 	start = time.Now()
-	layout, err := prog.Solve(opts.Solver)
+	sp = root.Child("solve",
+		obs.Int("ilp_vars", prog.Model.NumVars()),
+		obs.Int("ilp_constrs", prog.Model.NumConstrs()),
+	)
+	solver := opts.Solver
+	if sp != nil && solver.Progress == nil {
+		// Mirror the branch-and-bound trajectory into the trace: one
+		// event per root relaxation, incumbent improvement, heartbeat,
+		// and terminal state.
+		solveSpan := sp
+		solver.Progress = func(p ilp.Progress) {
+			attrs := []obs.Attr{
+				obs.Int("nodes", p.Nodes),
+				obs.Int("simplex_iters", p.SimplexIters),
+				obs.Int("refactorizations", p.Refactorizations),
+				obs.Float("best_bound", p.BestBound),
+				obs.Duration("elapsed", p.Elapsed),
+			}
+			if p.HasIncumbent {
+				attrs = append(attrs,
+					obs.Float("incumbent", p.Incumbent),
+					obs.Float("gap", p.Gap),
+				)
+			}
+			solveSpan.Event("solver."+p.Kind.String(), attrs...)
+		}
+	}
+	layout, err := prog.Solve(solver)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetAttrs(
+		obs.Int("bnb_nodes", layout.Stats.Nodes),
+		obs.Int("simplex_iters", layout.Stats.SimplexIter),
+		obs.Int("refactorizations", layout.Stats.Refactors),
+		obs.Float("objective", layout.Objective),
+		obs.Float("gap", layout.Stats.Gap),
+	)
+	sp.End()
 	res.Layout = layout
 	res.Phases.Solve = time.Since(start)
 
 	if !opts.SkipCodegen {
 		start = time.Now()
+		sp = root.Child("codegen")
 		p4, err := codegen.Generate(u, layout)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("p4all: code generation: %w", err)
 		}
+		sp.SetAttrs(obs.Int("p4_lines", strings.Count(p4, "\n")+1))
+		sp.End()
 		res.P4 = p4
 		res.Phases.Codegen = time.Since(start)
 	}
 	return res, nil
+}
+
+// parseAttrs summarizes the resolved AST for the parse span.
+func parseAttrs(u *lang.Unit) []obs.Attr {
+	return []obs.Attr{
+		obs.Int("symbolics", len(u.Symbolics)),
+		obs.Int("registers", len(u.Registers)),
+		obs.Int("actions", len(u.Actions)),
+		obs.Int("invocations", len(u.Invocations)),
+		obs.Int("loops", len(u.Loops)),
+		obs.Int("assumes", len(u.Assumes)),
+	}
+}
+
+// boundsAttrs records the unroll bound chosen for each loop symbolic
+// and why (the §4.2 analysis result).
+func boundsAttrs(b *unroll.Result) []obs.Attr {
+	attrs := make([]obs.Attr, 0, 2*len(b.LoopBound))
+	for sym, k := range b.LoopBound {
+		attrs = append(attrs, obs.Int("bound."+sym.Name, k))
+		if d, ok := b.Details[sym]; ok {
+			attrs = append(attrs, obs.String("why."+sym.Name, string(d.Why)))
+		}
+	}
+	return attrs
 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"p4all/internal/ilp"
+)
+
+func TestOptionsWithDefaultsZeroValue(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Solver.Gap != 0.03 {
+		t.Errorf("Gap = %g, want 0.03", o.Solver.Gap)
+	}
+	if o.Solver.NodeLimit != 4000 {
+		t.Errorf("NodeLimit = %d, want 4000", o.Solver.NodeLimit)
+	}
+	if o.Solver.TimeLimit != 90*time.Second {
+		t.Errorf("TimeLimit = %v, want 90s", o.Solver.TimeLimit)
+	}
+}
+
+func TestOptionsWithDefaultsNegativeGapMeansExact(t *testing.T) {
+	// A negative gap is the documented way to request exact
+	// optimization: it must become 0, not the 3% default.
+	o := Options{Solver: ilp.Options{Gap: -1}}.withDefaults()
+	if o.Solver.Gap != 0 {
+		t.Errorf("Gap = %g, want 0 (exact)", o.Solver.Gap)
+	}
+}
+
+func TestOptionsWithDefaultsPreservesExplicitValues(t *testing.T) {
+	in := Options{Solver: ilp.Options{
+		Gap:       0.10,
+		NodeLimit: 7,
+		TimeLimit: time.Minute,
+	}}
+	o := in.withDefaults()
+	if o.Solver.Gap != 0.10 || o.Solver.NodeLimit != 7 || o.Solver.TimeLimit != time.Minute {
+		t.Errorf("explicit solver options changed: %+v", o.Solver)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"p4all/internal/core"
 	"p4all/internal/dep"
 	"p4all/internal/lang"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 	"p4all/internal/structures"
 	"p4all/internal/unroll"
@@ -118,8 +119,13 @@ func BestFig4(points []Fig4Point) Fig4Point {
 // default utility and returns the result; Result.Layout is the
 // Figure 7 stage map.
 func Figure7(memBits int) (*core.Result, error) {
+	return Figure7Traced(memBits, nil)
+}
+
+// Figure7Traced is Figure7 with compile-pipeline tracing.
+func Figure7Traced(memBits int, tr *obs.Tracer) (*core.Result, error) {
 	app := apps.NetCache(apps.NetCacheConfig{})
-	return core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{})
+	return core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Tracer: tr})
 }
 
 // ---------------------------------------------------------------- Fig 9
@@ -205,9 +211,15 @@ type Fig11Row struct {
 // Figure11 compiles the four applications against the evaluation
 // target and tabulates source size, compile time, and ILP size.
 func Figure11(memBits int) ([]Fig11Row, error) {
+	return Figure11Traced(memBits, nil)
+}
+
+// Figure11Traced is Figure11 with compile-pipeline tracing (one
+// "compile" span tree per application).
+func Figure11Traced(memBits int, tr *obs.Tracer) ([]Fig11Row, error) {
 	var rows []Fig11Row
 	for _, app := range apps.All() {
-		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -256,6 +268,12 @@ type Fig12Point struct {
 // Figure12 sweeps per-stage memory and records how the compiler
 // stretches NetCache's structures (the elasticity result of §6.2).
 func Figure12(memBits []int) ([]Fig12Point, error) {
+	return Figure12Traced(memBits, nil)
+}
+
+// Figure12Traced is Figure12 with compile-pipeline tracing (one
+// "compile" span tree per memory setting).
+func Figure12Traced(memBits []int, tr *obs.Tracer) ([]Fig12Point, error) {
 	app := apps.NetCache(apps.NetCacheConfig{})
 	u, err := lang.ParseAndResolve(app.Source)
 	if err != nil {
@@ -263,7 +281,7 @@ func Figure12(memBits []int) ([]Fig12Point, error) {
 	}
 	var out []Fig12Point
 	for _, m := range memBits {
-		res, err := core.CompileUnit(u, pisa.EvalTarget(m), core.Options{SkipCodegen: true})
+		res, err := core.CompileUnit(u, pisa.EvalTarget(m), core.Options{SkipCodegen: true, Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("M=%d: %w", m, err)
 		}
@@ -305,6 +323,11 @@ type Fig13Row struct {
 // (with the 8 Mb key-value floor the paper notes) and reports how the
 // split shifts.
 func Figure13(memBits int) ([]Fig13Row, error) {
+	return Figure13Traced(memBits, nil)
+}
+
+// Figure13Traced is Figure13 with compile-pipeline tracing.
+func Figure13Traced(memBits int, tr *obs.Tracer) ([]Fig13Row, error) {
 	utilities := []string{
 		"0.4 * (kv_parts * kv_slots) + 0.6 * (cms_rows * cms_cols)",
 		"0.4 * (cms_rows * cms_cols) + 0.6 * (kv_parts * kv_slots)",
@@ -314,7 +337,7 @@ func Figure13(memBits int) ([]Fig13Row, error) {
 	var out []Fig13Row
 	for _, util := range utilities {
 		app := apps.NetCache(apps.NetCacheConfig{Utility: util, KVFloorItems: kvFloor})
-		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{SkipCodegen: true})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{SkipCodegen: true, Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("utility %q: %w", util, err)
 		}

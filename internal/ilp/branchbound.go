@@ -24,12 +24,75 @@ type Options struct {
 	// DisableHeuristic skips the initial rounding dive used to seed an
 	// incumbent (used by ablation benchmarks).
 	DisableHeuristic bool
+	// Progress, when non-nil, receives search snapshots: the root
+	// relaxation, every incumbent improvement, a heartbeat every
+	// ProgressEvery nodes, and the terminal state. A nil hook costs
+	// nothing on the solve path.
+	Progress func(Progress)
+	// ProgressEvery is the node interval between heartbeat callbacks
+	// (0 means the default of 256).
+	ProgressEvery int
+}
+
+// ProgressKind labels why a Progress snapshot was delivered.
+type ProgressKind int
+
+const (
+	// ProgressRoot reports the root LP relaxation, before branching.
+	ProgressRoot ProgressKind = iota
+	// ProgressIncumbent reports a new best integer solution.
+	ProgressIncumbent
+	// ProgressNode is the periodic heartbeat every ProgressEvery nodes.
+	ProgressNode
+	// ProgressDone reports the terminal state of the search.
+	ProgressDone
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case ProgressRoot:
+		return "root"
+	case ProgressIncumbent:
+		return "incumbent"
+	case ProgressNode:
+		return "node"
+	case ProgressDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProgressKind(%d)", int(k))
+	}
+}
+
+// Progress is one snapshot of the branch-and-bound search, delivered
+// to Options.Progress. Objectives and bounds are reported in the
+// model's own sense.
+type Progress struct {
+	Kind ProgressKind
+	// Nodes is the number of branch-and-bound nodes processed so far.
+	Nodes int
+	// SimplexIters is the cumulative simplex iteration count.
+	SimplexIters int
+	// Refactorizations is the cumulative basis refactorization count.
+	Refactorizations int
+	// HasIncumbent reports whether an integer-feasible solution exists
+	// yet; Incumbent and Gap are meaningful only when it is true.
+	HasIncumbent bool
+	// Incumbent is the objective of the best integer solution so far.
+	Incumbent float64
+	// BestBound is the tightest proven bound on the optimum so far.
+	BestBound float64
+	// Gap is the relative gap between Incumbent and BestBound
+	// (+Inf without an incumbent).
+	Gap float64
+	// Elapsed is the wall time since the solve started.
+	Elapsed time.Duration
 }
 
 const (
-	defaultNodeLimit = 200000
-	defaultIterLimit = 50000
-	intTol           = 1e-6
+	defaultNodeLimit     = 200000
+	defaultIterLimit     = 50000
+	defaultProgressEvery = 256
+	intTol               = 1e-6
 )
 
 // node is one branch-and-bound subproblem.
@@ -85,15 +148,58 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		}
 	}
 
-	totalIters := 0
+	total := lpCounts{}
 	sign := 1.0
 	if m.sense == Maximize {
 		sign = -1
 	}
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = defaultProgressEvery
+	}
+	var solveStart time.Time
+	if opts.Progress != nil {
+		solveStart = time.Now()
+	}
 	var rootBound float64
+	var rootMin float64 // root relaxation in minimization sense
 	var queue *nodeQueue
+	// boundMin returns the tightest proven min-sense bound given the
+	// best incumbent (math.Inf(1) when none): the best open node if any
+	// remain, else the incumbent itself (search exhausted).
+	boundMin := func(bestObj float64) float64 {
+		if queue != nil && queue.Len() > 0 {
+			return (*queue)[0].bound
+		}
+		if !math.IsInf(bestObj, 1) {
+			return bestObj
+		}
+		return rootMin
+	}
+	// emit delivers one Progress snapshot; a nil hook makes it free.
+	emit := func(kind ProgressKind, nodes int, bestObj float64, hasInc bool) {
+		if opts.Progress == nil {
+			return
+		}
+		p := Progress{
+			Kind:             kind,
+			Nodes:            nodes,
+			SimplexIters:     total.iters,
+			Refactorizations: total.refactors,
+			Gap:              math.Inf(1),
+			Elapsed:          time.Since(solveStart),
+		}
+		bm := boundMin(bestObj)
+		p.BestBound = sign * (bm + sf.objK)
+		if hasInc {
+			p.HasIncumbent = true
+			p.Incumbent = sign * (bestObj + sf.objK)
+			p.Gap = relGap(bestObj, bm)
+		}
+		opts.Progress(p)
+	}
 	finish := func(status Status, objMin float64, x []float64, nodes int) *Solution {
-		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: totalIters, RootBound: rootBound}
+		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: total.iters, Refactorizations: total.refactors, RootBound: rootBound}
 		if x != nil {
 			sol.Values = x
 			// lowerModel folded the sense into cost and objK, so the
@@ -108,16 +214,23 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 				sol.BestBound = sign * ((*queue)[0].bound + sf.objK)
 			}
 		}
+		em := math.Inf(1)
+		if x != nil {
+			em = objMin
+		}
+		emit(ProgressDone, nodes, em, x != nil)
 		return sol
 	}
 
 	lo, hi := sf.cloneBounds()
-	st, obj, x, iters, err := solveLP(sf, lo, hi, iterLimit, nil)
-	totalIters += iters
+	st, obj, x, counts, err := solveLP(sf, lo, hi, iterLimit, nil)
+	total.iters += counts.iters
+	total.refactors += counts.refactors
 	if err != nil {
 		return nil, err
 	}
 	rootBound = sign * (obj + sf.objK)
+	rootMin = obj
 	switch st {
 	case lpInfeasible:
 		return finish(StatusInfeasible, 0, nil, 1), nil
@@ -127,6 +240,7 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	if !hasInt || integral(sf, x) {
 		return finish(StatusOptimal, obj, x, 1), nil
 	}
+	emit(ProgressRoot, 1, obj, false)
 
 	// Branch and bound.
 	var (
@@ -135,13 +249,17 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		nodes   = 1
 	)
 	if !opts.DisableHeuristic {
-		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &totalIters); ok {
+		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &total); ok {
 			bestObj, bestX = hobj, hx
 		}
 	}
 	queue = &nodeQueue{}
 	heap.Init(queue)
 	heap.Push(queue, &node{lo: lo, hi: hi, bound: obj, depth: 0})
+	if bestX != nil {
+		// The dive seeded an incumbent before any branching.
+		emit(ProgressIncumbent, nodes, bestObj, true)
+	}
 
 	// Best-first over the open queue with depth-first plunging inside
 	// each popped node: following one child chain all the way down
@@ -159,8 +277,12 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 				return finish(StatusLimit, bestObj, bestX, nodes), nil
 			}
 			nodes++
-			st, obj, x, iters, err := solveLP(sf, cur.lo, cur.hi, iterLimit, cur.hint)
-			totalIters += iters
+			if opts.Progress != nil && nodes%progressEvery == 0 {
+				emit(ProgressNode, nodes, bestObj, bestX != nil)
+			}
+			st, obj, x, counts, err := solveLP(sf, cur.lo, cur.hi, iterLimit, cur.hint)
+			total.iters += counts.iters
+			total.refactors += counts.refactors
 			if err != nil {
 				return nil, err
 			}
@@ -169,6 +291,7 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 			}
 			if integral(sf, x) {
 				bestObj, bestX = obj, x
+				emit(ProgressIncumbent, nodes, bestObj, true)
 				break
 			}
 			j := fractionalVar(sf, x)
@@ -258,7 +381,7 @@ func child(parent *node, j int, newLo, newHi, bound float64, hint []float64) *no
 // diveHeuristic repeatedly fixes the least-fractional integer variable
 // to its rounded value and re-solves, hoping to land on an integer
 // feasible incumbent quickly.
-func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, totalIters *int) ([]float64, float64, bool) {
+func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total *lpCounts) ([]float64, float64, bool) {
 	lo = append([]float64(nil), lo...)
 	hi = append([]float64(nil), hi...)
 	x := x0
@@ -292,8 +415,9 @@ func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, totalI
 		r := math.Round(x[bestJ])
 		r = math.Min(math.Max(r, lo[bestJ]), hi[bestJ])
 		lo[bestJ], hi[bestJ] = r, r
-		st, _, nx, iters, err := solveLP(sf, lo, hi, iterLimit, x)
-		*totalIters += iters
+		st, _, nx, counts, err := solveLP(sf, lo, hi, iterLimit, x)
+		total.iters += counts.iters
+		total.refactors += counts.refactors
 		if err != nil || st != lpOptimal {
 			return nil, 0, false
 		}
@@ -350,7 +474,7 @@ func SolveRootLP(m *Model) (*Solution, error) {
 		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr
 	}
 	lo, hi := sf.cloneBounds()
-	st, obj, x, iters, err := solveLP(sf, lo, hi, defaultIterLimit, nil)
+	st, obj, x, counts, err := solveLP(sf, lo, hi, defaultIterLimit, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +482,7 @@ func SolveRootLP(m *Model) (*Solution, error) {
 	if m.sense == Maximize {
 		sign = -1
 	}
-	sol := &Solution{Nodes: 1, SimplexIters: iters}
+	sol := &Solution{Nodes: 1, SimplexIters: counts.iters, Refactorizations: counts.refactors}
 	switch st {
 	case lpInfeasible:
 		sol.Status = StatusInfeasible

@@ -264,6 +264,9 @@ type Solution struct {
 	// SimplexIters is the total simplex iteration count across all
 	// LP solves.
 	SimplexIters int
+	// Refactorizations is the total number of basis refactorizations
+	// across all LP solves.
+	Refactorizations int
 	// RootBound is the root LP relaxation objective in the model's
 	// sense (a bound on the best possible integer objective).
 	RootBound float64

@@ -190,19 +190,20 @@ const (
 )
 
 type simplex struct {
-	sf       *standardForm
-	n        int // total columns: struct + slack + artificial
-	nSlack   int
-	cols     []spCol // all columns
-	lo, hi   []float64
-	cost     []float64
-	status   []int8
-	basis    []int32
-	binv     [][]float64
-	xB       []float64
-	iters    int
-	pivots   int // pivots since last refactorization
-	refEvery int // refactorization cadence for this attempt
+	sf        *standardForm
+	n         int // total columns: struct + slack + artificial
+	nSlack    int
+	cols      []spCol // all columns
+	lo, hi    []float64
+	cost      []float64
+	status    []int8
+	basis     []int32
+	binv      [][]float64
+	xB        []float64
+	iters     int
+	pivots    int // pivots since last refactorization
+	refEvery  int // refactorization cadence for this attempt
+	refactors int // total basis refactorizations
 }
 
 type lpStatus int
@@ -213,29 +214,38 @@ const (
 	lpUnbounded
 )
 
+// lpCounts reports per-LP-solve effort (feeds Solution totals and the
+// branch-and-bound progress hook).
+type lpCounts struct {
+	iters     int
+	refactors int
+}
+
 // solveLP solves the standard form with the given structural bounds
 // (which may be tighter than sf's own, e.g. from branch and bound).
 // It returns the LP status, objective value (minimization sense,
-// without objK), structural solution values, and iteration count.
+// without objK), structural solution values, and effort counters
+// (simplex iterations and basis refactorizations).
 // Numerical drift detected at a refactorization triggers a retry with
 // a tighter refactorization cadence.
 // hint, when non-nil, is a (near-)feasible point — typically the
 // parent node's LP solution — used to warm the initial nonbasic bound
 // assignment.
-func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64) (lpStatus, float64, []float64, int, error) {
-	totalIters := 0
+func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64) (lpStatus, float64, []float64, lpCounts, error) {
+	total := lpCounts{}
 	for _, cadence := range []int{refactorEvery, 16, 4, 1} {
-		st, obj, x, iters, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint)
-		totalIters += iters
+		st, obj, x, counts, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint)
+		total.iters += counts.iters
+		total.refactors += counts.refactors
 		if errors.Is(err, errNumerical) || errors.Is(err, errSingularBasis) {
 			continue
 		}
-		return st, obj, x, totalIters, err
+		return st, obj, x, total, err
 	}
-	return lpInfeasible, 0, nil, totalIters, errNumerical
+	return lpInfeasible, 0, nil, total, errNumerical
 }
 
-func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64) (lpStatus, float64, []float64, int, error) {
+func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64) (lpStatus, float64, []float64, lpCounts, error) {
 	m := sf.m
 	s := &simplex{
 		sf:       sf,
@@ -255,7 +265,7 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	copy(s.hi, hi)
 	for j := 0; j < sf.nStruct; j++ {
 		if s.lo[j] > s.hi[j]+feasTol {
-			return lpInfeasible, 0, nil, 0, nil
+			return lpInfeasible, 0, nil, lpCounts{}, nil
 		}
 		// Nonbasic structurals start at the bound nearest the hint
 		// (the parent LP solution in branch and bound), else lower.
@@ -310,7 +320,7 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 		sval := math.Min(math.Max(r, s.lo[j]), s.hi[j])
 		if math.IsInf(sval, 0) {
 			// Cannot happen: the violated bound is always finite.
-			return lpInfeasible, 0, nil, 0, fmt.Errorf("ilp: internal: infinite slack bound hit on row %d", i)
+			return lpInfeasible, 0, nil, lpCounts{}, fmt.Errorf("ilp: internal: infinite slack bound hit on row %d", i)
 		}
 		if sval == s.lo[j] {
 			s.status[j] = nbLower
@@ -344,13 +354,13 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 		s.cost = p1
 		st, err := s.iterate(iterLimit)
 		if err != nil {
-			return lpInfeasible, 0, nil, s.iters, err
+			return lpInfeasible, 0, nil, s.counts(), err
 		}
 		if st == lpUnbounded {
-			return lpInfeasible, 0, nil, s.iters, errors.New("ilp: internal: phase-1 unbounded")
+			return lpInfeasible, 0, nil, s.counts(), errors.New("ilp: internal: phase-1 unbounded")
 		}
 		if s.objValue() > 1e-6 {
-			return lpInfeasible, 0, nil, s.iters, nil
+			return lpInfeasible, 0, nil, s.counts(), nil
 		}
 		// Pin artificials at zero.
 		for j := sf.nStruct + m; j < s.n; j++ {
@@ -364,14 +374,14 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 
 	st, err := s.iterate(iterLimit)
 	if err != nil {
-		return lpInfeasible, 0, nil, s.iters, err
+		return lpInfeasible, 0, nil, s.counts(), err
 	}
 	if st == lpUnbounded {
-		return lpUnbounded, 0, nil, s.iters, nil
+		return lpUnbounded, 0, nil, s.counts(), nil
 	}
 	// Extract structural values.
 	if err := s.refactorize(); err != nil {
-		return lpInfeasible, 0, nil, s.iters, err
+		return lpInfeasible, 0, nil, s.counts(), err
 	}
 	if debugChecks {
 		for i, bj := range s.basis {
@@ -395,7 +405,7 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	for j := 0; j < sf.nStruct; j++ {
 		obj += sf.cost[j] * x[j]
 	}
-	return lpOptimal, obj, x, s.iters, nil
+	return lpOptimal, obj, x, s.counts(), nil
 }
 
 // nbValue returns the value a nonbasic column takes at its current bound.
@@ -673,6 +683,11 @@ func (s *simplex) iterate(iterLimit int) (lpStatus, error) {
 	}
 }
 
+// counts snapshots this attempt's effort counters.
+func (s *simplex) counts() lpCounts {
+	return lpCounts{iters: s.iters, refactors: s.refactors}
+}
+
 // refactorize recomputes the basis inverse and basic values from
 // scratch via Gauss-Jordan elimination with partial pivoting.
 func (s *simplex) refactorize() error {
@@ -756,6 +771,7 @@ func (s *simplex) refactorize() error {
 		s.xB[i] = v
 	}
 	s.pivots = 0
+	s.refactors++
 	// Drift check: the recomputed basics must still be (near-)feasible;
 	// incremental updates through small pivots can silently walk the
 	// iterate out of the feasible region.

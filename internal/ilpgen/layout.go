@@ -49,7 +49,10 @@ type StageUse struct {
 type Stats struct {
 	Vars, Constrs      int
 	Nodes, SimplexIter int
-	Gap                float64
+	// Refactors counts basis refactorizations across all LP solves (a
+	// proxy for numerical effort).
+	Refactors int
+	Gap       float64
 }
 
 // Layout is a concrete solution: symbolic assignments plus the mapping
@@ -102,6 +105,7 @@ func (p *ILP) extract(sol *ilp.Solution) (*Layout, error) {
 			Constrs:     p.Model.NumConstrs(),
 			Nodes:       sol.Nodes,
 			SimplexIter: sol.SimplexIters,
+			Refactors:   sol.Refactorizations,
 			Gap:         sol.AchievedGap(),
 		},
 	}

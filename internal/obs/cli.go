@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// FromCLI builds the tracer shared by the repo's command-line tools
+// from their -trace/-summary flags: tracePath, when non-empty, receives
+// a JSONL trace; summary, when true, prints an aggregate table to
+// summaryW when the tracer is closed. Returns nil (tracing disabled at
+// near-zero cost) when neither output was requested. Callers must
+// Close the returned tracer to flush metrics, the summary table, and
+// the trace file.
+func FromCLI(tracePath string, summary bool, summaryW io.Writer) (*Tracer, error) {
+	var sinks []Sink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, NewJSONLSink(f))
+	}
+	if summary {
+		sinks = append(sinks, NewSummarySink(summaryW))
+	}
+	return New(sinks...), nil
+}

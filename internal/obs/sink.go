@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ------------------------------------------------------------- JSONL
+
+// JSONLSink writes one JSON object per record, one record per line —
+// the trace format documented in docs/OBSERVABILITY.md. If the
+// underlying writer is an io.Closer (e.g. an *os.File), Close closes
+// it.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a JSONL trace writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// jsonRecord is the wire shape of one trace line. Map attrs marshal
+// with sorted keys, keeping lines deterministic for tooling and tests.
+type jsonRecord struct {
+	Kind   string                 `json:"kind"`
+	Name   string                 `json:"name"`
+	ID     uint64                 `json:"id,omitempty"`
+	Parent uint64                 `json:"parent,omitempty"`
+	Time   string                 `json:"time,omitempty"`
+	Start  string                 `json:"start,omitempty"`
+	DurNS  int64                  `json:"dur_ns,omitempty"`
+	Value  *float64               `json:"value,omitempty"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+}
+
+// Emit writes the record as one JSON line.
+func (s *JSONLSink) Emit(r *Record) {
+	jr := jsonRecord{Kind: r.Kind.String(), Name: r.Name, ID: r.ID, Parent: r.Parent}
+	switch r.Kind {
+	case KindSpan:
+		jr.Start = r.Start.UTC().Format(time.RFC3339Nano)
+		jr.DurNS = int64(r.Duration)
+	case KindEvent:
+		jr.Time = r.Time.UTC().Format(time.RFC3339Nano)
+	case KindMetric:
+		jr.Time = r.Time.UTC().Format(time.RFC3339Nano)
+		v := r.Value
+		jr.Value = &v
+	}
+	if len(r.Attrs) > 0 {
+		jr.Attrs = make(map[string]interface{}, len(r.Attrs))
+		for _, a := range r.Attrs {
+			jr.Attrs[a.Key] = a.jsonValue()
+		}
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(&jr)
+	}
+	s.mu.Unlock()
+}
+
+// Close closes the underlying writer if it is an io.Closer and reports
+// any write error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ----------------------------------------------------------- Summary
+
+// SummarySink aggregates records in memory and renders a human-
+// readable table at Close: per-span-name count/total/min/max, event
+// counts, and final metric values.
+type SummarySink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	spans   map[string]*spanAgg
+	events  map[string]int
+	metrics map[string]float64
+	order   []string // metric order of first appearance
+}
+
+type spanAgg struct {
+	count    int
+	total    time.Duration
+	min, max time.Duration
+}
+
+// NewSummarySink aggregates records and prints a table to w at Close.
+func NewSummarySink(w io.Writer) *SummarySink {
+	return &SummarySink{
+		w:       w,
+		spans:   make(map[string]*spanAgg),
+		events:  make(map[string]int),
+		metrics: make(map[string]float64),
+	}
+}
+
+// Emit folds one record into the aggregates.
+func (s *SummarySink) Emit(r *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Kind {
+	case KindSpan:
+		a, ok := s.spans[r.Name]
+		if !ok {
+			a = &spanAgg{min: r.Duration, max: r.Duration}
+			s.spans[r.Name] = a
+		}
+		a.count++
+		a.total += r.Duration
+		if r.Duration < a.min {
+			a.min = r.Duration
+		}
+		if r.Duration > a.max {
+			a.max = r.Duration
+		}
+	case KindEvent:
+		s.events[r.Name]++
+	case KindMetric:
+		if _, ok := s.metrics[r.Name]; !ok {
+			s.order = append(s.order, r.Name)
+		}
+		s.metrics[r.Name] = r.Value
+	}
+}
+
+// Close renders the summary table.
+func (s *SummarySink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("== observability summary ==\n")
+	if len(s.spans) > 0 {
+		names := make([]string, 0, len(s.spans))
+		for n := range s.spans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-28s %7s %12s %12s %12s\n", "span", "count", "total", "min", "max")
+		for _, n := range names {
+			a := s.spans[n]
+			fmt.Fprintf(&b, "%-28s %7d %12s %12s %12s\n", n, a.count,
+				round(a.total), round(a.min), round(a.max))
+		}
+	}
+	if len(s.events) > 0 {
+		names := make([]string, 0, len(s.events))
+		for n := range s.events {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-28s %7s\n", "event", "count")
+		for _, n := range names {
+			fmt.Fprintf(&b, "%-28s %7d\n", n, s.events[n])
+		}
+	}
+	if len(s.metrics) > 0 {
+		fmt.Fprintf(&b, "%-28s %12s\n", "metric", "value")
+		for _, n := range s.order {
+			fmt.Fprintf(&b, "%-28s %12g\n", n, s.metrics[n])
+		}
+	}
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+// --------------------------------------------------------------- Nop
+
+// NopSink discards every record. It exists to measure the enabled-path
+// overhead of instrumentation (span allocation and emission) without
+// any serialization cost; the truly disabled path is the nil *Tracer.
+type NopSink struct{}
+
+// Emit discards the record.
+func (NopSink) Emit(*Record) {}
+
+// Close is a no-op.
+func (NopSink) Close() error { return nil }

@@ -18,6 +18,28 @@ import (
 // Packet carries named header-field values, e.g. "query.key" -> 17.
 type Packet map[string]uint64
 
+// Stats counts the work a pipeline has performed since construction:
+// packets processed, register accesses, and ALU operations per stage.
+// These are the behavioral-model analogues of the switch resource
+// counters the paper's §2 architecture budgets.
+type Stats struct {
+	Packets   uint64
+	RegReads  uint64
+	RegWrites uint64
+	// ALUOps counts arithmetic, comparison, and hash operations
+	// evaluated in each stage, indexed by stage number.
+	ALUOps []uint64
+}
+
+// TotalALUOps sums the per-stage ALU operation counts.
+func (s Stats) TotalALUOps() uint64 {
+	var n uint64
+	for _, v := range s.ALUOps {
+		n += v
+	}
+	return n
+}
+
 // Pipeline is an executable compiled program.
 type Pipeline struct {
 	unit   *lang.Unit
@@ -28,7 +50,8 @@ type Pipeline struct {
 	steps []step
 	// meta holds the per-packet metadata (reset per packet); keys are
 	// flattened elastic names like "meta.count@2".
-	meta map[string]uint64
+	meta  map[string]uint64
+	stats Stats
 }
 
 type step struct {
@@ -44,6 +67,7 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 		layout: layout,
 		regs:   make(map[string][][]uint64),
 		meta:   make(map[string]uint64),
+		stats:  Stats{ALUOps: make([]uint64, len(layout.Stages))},
 	}
 	// Allocate register storage from the layout.
 	counts := map[string]int{}
@@ -88,6 +112,13 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 	return p, nil
 }
 
+// Stats returns a snapshot of the pipeline's work counters.
+func (p *Pipeline) Stats() Stats {
+	s := p.stats
+	s.ALUOps = append([]uint64(nil), p.stats.ALUOps...)
+	return s
+}
+
 // Register returns the live contents of a register instance (for tests
 // and tools). The slice aliases pipeline state.
 func (p *Pipeline) Register(name string, instance int) ([]uint64, bool) {
@@ -113,6 +144,7 @@ func hashUint(key uint64, row uint64) uint64 {
 // Process pushes one packet through the pipeline and returns the final
 // metadata view (flattened names: "meta.min", "meta.count@2", ...).
 func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
+	p.stats.Packets++
 	for k := range p.meta {
 		delete(p.meta, k)
 	}
@@ -121,7 +153,7 @@ func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
 		if l := st.inv.Loop(); l != nil {
 			loopVar = l.Var
 		}
-		ev := &evaluator{p: p, pkt: pkt, action: st.inv.Action, iter: st.iter, loopVar: loopVar}
+		ev := &evaluator{p: p, pkt: pkt, action: st.inv.Action, iter: st.iter, loopVar: loopVar, stage: st.stage}
 		ok := true
 		for _, g := range st.inv.Guards {
 			v, err := ev.expr(g)
@@ -165,6 +197,14 @@ type evaluator struct {
 	action  *lang.Action
 	iter    int
 	loopVar string // innermost loop variable (guards refer to it)
+	stage   int    // pipeline stage this instance was placed in
+}
+
+// aluOp charges one ALU operation to the evaluator's stage.
+func (ev *evaluator) aluOp() {
+	if ops := ev.p.stats.ALUOps; ev.stage >= 0 && ev.stage < len(ops) {
+		ops[ev.stage]++
+	}
 }
 
 func (ev *evaluator) block(b *lang.Block) error {
@@ -229,6 +269,7 @@ func (ev *evaluator) assign(ref *lang.Ref, v uint64) error {
 			cell %= uint64(len(store))
 		}
 		store[cell] = v & widthMask(reg.Width)
+		ev.p.stats.RegWrites++
 		return nil
 	}
 	if si := ev.p.unit.StructByName(base); si != nil && len(ref.Segs) == 2 {
@@ -316,6 +357,7 @@ func (ev *evaluator) expr(e lang.Expr) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		ev.aluOp()
 		switch e.Op {
 		case lang.MINUS:
 			return -v, nil
@@ -346,6 +388,7 @@ func (ev *evaluator) expr(e lang.Expr) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		ev.aluOp()
 		return binOp(e.Op, x, y)
 	case *lang.CallExpr:
 		args := make([]uint64, len(e.Args))
@@ -356,6 +399,7 @@ func (ev *evaluator) expr(e lang.Expr) (uint64, error) {
 			}
 			args[i] = v
 		}
+		ev.aluOp()
 		switch e.Name {
 		case "hash":
 			if len(args) != 2 {
@@ -455,6 +499,7 @@ func (ev *evaluator) load(ref *lang.Ref) (uint64, error) {
 		if cell >= uint64(len(store)) {
 			cell %= uint64(len(store))
 		}
+		ev.p.stats.RegReads++
 		return store[cell], nil
 	}
 	if si := ev.p.unit.StructByName(base); si != nil && len(ref.Segs) == 2 {

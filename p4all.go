@@ -19,6 +19,7 @@
 package p4all
 
 import (
+	"io"
 	"time"
 
 	"p4all/internal/check"
@@ -27,6 +28,7 @@ import (
 	"p4all/internal/ilpgen"
 	"p4all/internal/lang"
 	"p4all/internal/modules"
+	"p4all/internal/obs"
 	"p4all/internal/pisa"
 	"p4all/internal/sim"
 )
@@ -99,6 +101,34 @@ func NewPipeline(res *Result) (*Pipeline, error) {
 func MetaValue(out map[string]uint64, field string, idx int) (uint64, bool) {
 	return sim.Meta(out, field, idx)
 }
+
+// PipelineStats counts the work a behavioral pipeline has performed:
+// packets, register reads/writes, and per-stage ALU operations
+// (Pipeline.Stats).
+type PipelineStats = sim.Stats
+
+// Tracer observes the compiler pipeline: set Options.Tracer to receive
+// per-phase spans (parse, bounds, generate, solve, codegen) with size
+// attributes plus ILP solver progress events. A nil *Tracer disables
+// tracing at near-zero cost. See docs/OBSERVABILITY.md.
+type Tracer = obs.Tracer
+
+// TraceSink consumes trace records (spans, events, metrics).
+type TraceSink = obs.Sink
+
+// TraceAttr is one typed key/value attribute on a span or event.
+type TraceAttr = obs.Attr
+
+// NewTracer builds a tracer fanning out to the given sinks; with no
+// sinks it returns nil, the disabled tracer.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
+
+// NewJSONLTraceSink writes one JSON object per trace record to w.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewSummaryTraceSink aggregates records and prints a human-readable
+// table to w when the tracer is closed.
+func NewSummaryTraceSink(w io.Writer) TraceSink { return obs.NewSummarySink(w) }
 
 // ModuleInstance parameterizes one elastic library module.
 type ModuleInstance = modules.Instance
