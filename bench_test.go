@@ -151,6 +151,29 @@ func BenchmarkFigure13Utility(b *testing.B) {
 	}
 }
 
+// --------------------------------------------------------------- Drift
+
+// BenchmarkFigureDrift runs the workload-drift experiment: a skew step
+// served by a frozen layout and by the elastic runtime controller,
+// reporting the steady-state hit rates on either side of the
+// adaptation (docs/ELASTICITY.md).
+func BenchmarkFigureDrift(b *testing.B) {
+	cfg := eval.DefaultDriftConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.FigureDrift(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Adoptions < 1 {
+			b.Fatalf("controller never adopted (%d re-solves)", res.Resolves)
+		}
+		b.ReportMetric(res.FrozenSteady, "frozen-hit-rate")
+		b.ReportMetric(res.ElasticSteady, "elastic-hit-rate")
+		b.ReportMetric(float64(res.Resolves), "re-solves")
+		b.ReportMetric(float64(res.ElasticKVItems), "elastic-kv-items")
+	}
+}
+
 // ------------------------------------------------------------ Ablations
 
 // BenchmarkAblationStageWindow measures the stage-window presolve's

@@ -3,6 +3,11 @@
 // key-value cache with the shapes the P4All compiler chose (or shapes
 // given on the command line) and reports the hit rate — the quality
 // metric of the paper's Figure 4.
+//
+// With -drift it instead runs the workload-drift experiment: the same
+// stream served by a frozen layout and by the elastic runtime
+// controller, reporting per-window hit rates across a skew step (see
+// docs/ELASTICITY.md).
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		trace    = flag.String("trace", "", "write a JSONL trace of the shape compile and simulation to this file")
 		summary  = flag.Bool("summary", false, "print an observability summary table to stderr")
+		drift    = flag.Bool("drift", false, "run the workload-drift experiment (frozen vs elastic controller)")
 	)
 	flag.Parse()
 
@@ -36,6 +42,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netcachesim:", err)
 		os.Exit(1)
+	}
+
+	if *drift {
+		if err := runDrift(*seed, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "netcachesim:", err)
+			os.Exit(1)
+		}
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "netcachesim: trace:", err)
+		}
+		return
 	}
 
 	if *rows == 0 || *cols == 0 || *items == 0 {
@@ -83,4 +100,27 @@ func main() {
 	}
 	fmt.Printf("cms %dx%d (%d bits), kv %d items (%d bits): hit rate %.4f over %d requests\n",
 		p.CMSRows, p.CMSCols, int64(p.CMSRows*p.CMSCols)*32, p.KVSlots, int64(p.KVSlots)*64, p.HitRate, *requests)
+}
+
+// runDrift renders the workload-drift experiment as a text table in
+// the style of the p4allbench figures.
+func runDrift(seed int64, tracer *obs.Tracer) error {
+	cfg := eval.DefaultDriftConfig()
+	cfg.Seed = seed
+	res, err := eval.FigureDriftTraced(cfg, tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload drift: %d keys, %d-request windows, skew %.2f -> %.2f\n\n",
+		cfg.Keys, cfg.Window, cfg.Phases[0].Skew, cfg.Phases[len(cfg.Phases)-1].Skew)
+	fmt.Printf("%6s %9s %8s %9s %9s %6s\n",
+		"window", "top-share", "frozen", "elastic", "action", "epoch")
+	for _, p := range res.Points {
+		fmt.Printf("%6d %9.3f %8.3f %9.3f %9s %6d\n",
+			p.Window, p.TopShare, p.HitFrozen, p.HitElastic, p.Action, p.Epoch)
+	}
+	fmt.Printf("\nre-solves %d (adopted %d, warm-started %v)\n", res.Resolves, res.Adoptions, res.AllWarm)
+	fmt.Printf("steady-state hit rate: frozen %.3f, elastic %.3f\n", res.FrozenSteady, res.ElasticSteady)
+	fmt.Printf("final kv capacity: frozen %d items, elastic %d items\n", res.FrozenKVItems, res.ElasticKVItems)
+	return nil
 }

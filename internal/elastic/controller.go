@@ -1,0 +1,269 @@
+package elastic
+
+import (
+	"fmt"
+	"math"
+
+	"p4all/internal/core"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/obs"
+	"p4all/internal/pisa"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Target is the switch the program is recompiled against.
+	Target pisa.Target
+	// Program builds the P4All source for a given utility expression —
+	// typically a closure over apps.NetCache.
+	Program func(utility string) string
+	// Policy maps a drift verdict to the utility expression to
+	// recompile under. Nil selects DefaultPolicy.
+	Policy func(d Drift) string
+	// InitialShare seeds the policy for the first compile, before any
+	// traffic has been observed (default 0.5: a skewed-workload
+	// prior).
+	InitialShare float64
+	// Detector tunes drift detection.
+	Detector DetectorConfig
+	// Solver tunes the re-solves; re-solves additionally get
+	// Options.Start seeded from the incumbent layout. Zero fields take
+	// the compiler defaults.
+	Solver ilp.Options
+	// MinImprove is the relative utility gain — measured in the NEW
+	// utility, comparing the re-solved layout against the incumbent
+	// layout's assignment — required to adopt (default 0.02).
+	MinImprove float64
+	// Tracer records drift/reoptimize/adopt/fallback events. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
+}
+
+// Action says what the controller did with a window.
+type Action int
+
+const (
+	// ActionNone: no drift; the incumbent keeps serving.
+	ActionNone Action = iota
+	// ActionKept: drift triggered a re-solve but the incumbent was
+	// kept — solver limit, compile failure, insufficient gain, or an
+	// unchanged layout.
+	ActionKept
+	// ActionAdopted: the re-solved layout was migrated and swapped in.
+	ActionAdopted
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionKept:
+		return "kept"
+	case ActionAdopted:
+		return "adopted"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decision reports one Observe outcome.
+type Decision struct {
+	Action  Action
+	Reason  string
+	Drift   Drift
+	Utility string // utility the re-solve ran under (empty when none ran)
+	// Stats is the re-solve's solver effort (nil when no solve ran or
+	// the compile failed before solving).
+	Stats *ilpgen.Stats
+	// Diff compares the re-solved layout against the incumbent (nil
+	// when no layout was produced).
+	Diff *Diff
+	// DroppedKV counts cache entries lost to collisions during an
+	// adoption's migration.
+	DroppedKV int
+	// Epoch is the gate epoch after the decision.
+	Epoch uint64
+}
+
+// Controller is the runtime reoptimization loop. It owns the detector
+// and the gate; the packet-processing side reads planes through
+// Gate().Load(). Observe is called by a single goroutine, once per
+// traffic window.
+type Controller struct {
+	cfg     Config
+	det     *Detector
+	gate    *Gate
+	utility string
+	// values is the incumbent layout's raw ILP assignment — the warm
+	// start for the next re-solve.
+	values []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = DefaultPolicy
+	}
+	if c.InitialShare == 0 {
+		c.InitialShare = 0.5
+	}
+	if c.MinImprove == 0 {
+		c.MinImprove = 0.02
+	}
+	return c
+}
+
+// DefaultPolicy maps the observed top-K share onto the NetCache
+// utility weights of the paper's §3.2.4. A concentrated head (high
+// share, heavy skew) weighs the sketch up: few keys absorb most
+// traffic, so popularity detection is the bottleneck and a small cache
+// suffices. A flat workload weighs the key-value store up: the head is
+// wide, so cache capacity is the bottleneck.
+func DefaultPolicy(d Drift) string {
+	wcms := 0.25 + 0.65*d.Share
+	if wcms < 0.30 {
+		wcms = 0.30
+	}
+	if wcms > 0.65 {
+		wcms = 0.65
+	}
+	return fmt.Sprintf("%.2f * (cms_rows * cms_cols) + %.2f * (kv_parts * kv_slots)", wcms, 1-wcms)
+}
+
+// New compiles the initial program (cold, under the policy's
+// InitialShare utility) and starts the controller serving it.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("elastic: Config.Program is required")
+	}
+	c := &Controller{cfg: cfg, det: NewDetector(cfg.Detector)}
+	c.utility = cfg.Policy(Drift{Share: cfg.InitialShare})
+	res, err := c.compile(c.utility, nil)
+	if err != nil {
+		return nil, fmt.Errorf("elastic: initial compile: %w", err)
+	}
+	plane, err := NewPlane(res.Layout)
+	if err != nil {
+		return nil, err
+	}
+	c.values = res.Layout.Values
+	c.gate = NewGate(plane)
+	return c, nil
+}
+
+// Gate returns the swap point the packet-processing side loads planes
+// through.
+func (c *Controller) Gate() *Gate { return c.gate }
+
+// Plane returns the currently served plane.
+func (c *Controller) Plane() *Plane {
+	p, _ := c.gate.Load()
+	return p
+}
+
+// Utility returns the utility expression the incumbent was solved
+// under.
+func (c *Controller) Utility() string { return c.utility }
+
+func (c *Controller) compile(utility string, start []float64) (*core.Result, error) {
+	opts := c.cfg.Solver
+	opts.Start = start
+	return core.Compile(c.cfg.Program(utility), c.cfg.Target, core.Options{
+		Solver:      opts,
+		SkipCodegen: true,
+		Tracer:      c.cfg.Tracer,
+	})
+}
+
+// Observe folds one traffic window into the controller. On drift it
+// recompiles under the policy's utility with a warm-started solve and
+// either adopts the new layout (migrating state and swapping the gate)
+// or keeps the incumbent, reporting which and why.
+func (c *Controller) Observe(w WindowStats) *Decision {
+	d := c.det.Observe(w)
+	dec := &Decision{Action: ActionNone, Drift: d, Epoch: c.gate.Epoch()}
+	if !d.Triggered {
+		return dec
+	}
+	tr := c.cfg.Tracer
+	tr.Event("elastic.drift",
+		obs.String("reason", d.Reason),
+		obs.Float("share", d.Share),
+		obs.Float("baseline", d.Baseline),
+	)
+	dec.Utility = c.cfg.Policy(d)
+	res, err := c.compile(dec.Utility, c.values)
+	if err != nil {
+		dec.Action, dec.Reason = ActionKept, fmt.Sprintf("re-solve failed: %v", err)
+		tr.Event("elastic.fallback", obs.String("reason", dec.Reason))
+		return dec
+	}
+	stats := res.Layout.Stats
+	dec.Stats = &stats
+	tr.Event("elastic.reoptimize",
+		obs.String("utility", dec.Utility),
+		obs.Bool("warm_started", stats.WarmStarted),
+		obs.Int("bnb_nodes", stats.Nodes),
+		obs.Float("gap", stats.Gap),
+		obs.Bool("limit_hit", stats.LimitHit),
+	)
+	if stats.LimitHit {
+		dec.Action, dec.Reason = ActionKept, "solver hit its limit before certifying the requested gap"
+		tr.Event("elastic.fallback", obs.String("reason", dec.Reason))
+		return dec
+	}
+	diff := DiffLayouts(c.Plane().Layout, res.Layout)
+	dec.Diff = &diff
+	if improve, comparable := c.improvement(res); comparable && improve < c.cfg.MinImprove {
+		dec.Action = ActionKept
+		dec.Reason = fmt.Sprintf("utility gain %.4f below threshold %.4f", improve, c.cfg.MinImprove)
+		tr.Event("elastic.fallback", obs.String("reason", dec.Reason))
+		return dec
+	}
+	if diff.Same() {
+		dec.Action, dec.Reason = ActionKept, "layout unchanged"
+		// The regime changed even though the layout did not; adopt the
+		// new utility as the incumbent's so future comparisons are
+		// against the right objective.
+		c.utility = dec.Utility
+		c.values = res.Layout.Values
+		return dec
+	}
+	plane, droppedKV, err := Migrate(c.Plane(), res.Layout, w.HotKeys)
+	if err != nil {
+		dec.Action, dec.Reason = ActionKept, fmt.Sprintf("migration failed: %v", err)
+		tr.Event("elastic.fallback", obs.String("reason", dec.Reason))
+		return dec
+	}
+	dec.Action = ActionAdopted
+	dec.DroppedKV = droppedKV
+	dec.Epoch = c.gate.Swap(plane)
+	c.utility = dec.Utility
+	c.values = res.Layout.Values
+	tr.Event("elastic.adopt",
+		obs.String("diff", diff.String()),
+		obs.Int("dropped_kv", droppedKV),
+		obs.Int64("epoch", int64(dec.Epoch)),
+	)
+	return dec
+}
+
+// improvement measures the re-solved layout against the incumbent
+// assignment under the NEW utility — the apples-to-apples comparison:
+// would switching actually raise the objective we now care about? The
+// incumbent's raw assignment is evaluated in the new model (the
+// variable space is identical; only the objective weights moved).
+// Reports comparable=false when the spaces don't align.
+func (c *Controller) improvement(res *core.Result) (float64, bool) {
+	if len(c.values) != res.ILP.Model.NumVars() {
+		return 0, false
+	}
+	expr, sense := res.ILP.Model.Objective()
+	incumbent := expr.Eval(c.values)
+	gain := res.Layout.Objective - incumbent
+	if sense == ilp.Minimize {
+		gain = -gain
+	}
+	return gain / math.Max(1, math.Abs(incumbent)), true
+}

@@ -1,0 +1,161 @@
+package elastic
+
+import (
+	"fmt"
+	"math"
+)
+
+// DetectorConfig tunes drift detection. Zero values select defaults.
+type DetectorConfig struct {
+	// Alpha is the EWMA smoothing factor for the share and rate
+	// baselines (default 0.3; higher weighs recent windows more).
+	Alpha float64
+	// ShareDelta triggers skew drift when the window's top-K share
+	// departs from its EWMA baseline by more than this (default 0.15 —
+	// about half the Zipf 1.1→0.5 swing, so a single-phase change
+	// trips it while sampling noise does not).
+	ShareDelta float64
+	// ChurnDelta triggers churn drift when the overlap between the
+	// window's top-K key set and the previous window's falls below
+	// 1-ChurnDelta (default 0.5).
+	ChurnDelta float64
+	// RateDelta triggers rate drift when the window rate departs from
+	// its EWMA baseline by more than this relative fraction (default
+	// 0.5). Rate detection is skipped while WindowStats.Rate is zero.
+	RateDelta float64
+	// Cooldown suppresses triggers for this many windows after one
+	// fires, giving the new baseline time to settle (default 2).
+	Cooldown int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.ShareDelta == 0 {
+		c.ShareDelta = 0.15
+	}
+	if c.ChurnDelta == 0 {
+		c.ChurnDelta = 0.5
+	}
+	if c.RateDelta == 0 {
+		c.RateDelta = 0.5
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2
+	}
+	return c
+}
+
+// Drift is the detector's verdict for one window.
+type Drift struct {
+	// Triggered reports that the window departed from the baseline.
+	Triggered bool
+	// Reason names the first signal that fired: "skew", "churn", or
+	// "rate".
+	Reason string
+	// Share is the window's top-K share (the skew signal the utility
+	// policy consumes).
+	Share float64
+	// Baseline is the EWMA share the window was compared against.
+	Baseline float64
+}
+
+func (d Drift) String() string {
+	if !d.Triggered {
+		return fmt.Sprintf("stable (share %.3f, baseline %.3f)", d.Share, d.Baseline)
+	}
+	return fmt.Sprintf("drift[%s] (share %.3f, baseline %.3f)", d.Reason, d.Share, d.Baseline)
+}
+
+// Detector keeps EWMA baselines of the skew, hot-set, and rate signals
+// and flags windows that depart from them. Not safe for concurrent
+// use; the controller owns it.
+type Detector struct {
+	cfg       DetectorConfig
+	init      bool
+	ewmaShare float64
+	ewmaRate  float64
+	prevHot   map[uint64]struct{}
+	cool      int
+}
+
+// NewDetector builds a detector with the given thresholds.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one window into the baselines and reports drift. On a
+// trigger the baselines reset to the new window and a cooldown starts,
+// so one regime change yields one trigger, not one per window.
+func (d *Detector) Observe(w WindowStats) Drift {
+	hot := make(map[uint64]struct{}, w.TopK)
+	for i, kc := range w.HotKeys {
+		if i >= w.TopK {
+			break
+		}
+		hot[kc.Key] = struct{}{}
+	}
+	out := Drift{Share: w.TopShare, Baseline: d.ewmaShare}
+	if !d.init {
+		d.init = true
+		d.ewmaShare = w.TopShare
+		d.ewmaRate = w.Rate
+		d.prevHot = hot
+		out.Baseline = w.TopShare
+		return out
+	}
+	if d.cool > 0 {
+		d.cool--
+		d.fold(w, hot)
+		return out
+	}
+	switch {
+	case math.Abs(w.TopShare-d.ewmaShare) > d.cfg.ShareDelta:
+		out.Triggered, out.Reason = true, "skew"
+	case d.churn(hot) > d.cfg.ChurnDelta:
+		out.Triggered, out.Reason = true, "churn"
+	case w.Rate > 0 && d.ewmaRate > 0 &&
+		math.Abs(w.Rate-d.ewmaRate)/d.ewmaRate > d.cfg.RateDelta:
+		out.Triggered, out.Reason = true, "rate"
+	}
+	if out.Triggered {
+		// Reset the baseline to the new regime and cool down.
+		d.ewmaShare = w.TopShare
+		d.ewmaRate = w.Rate
+		d.prevHot = hot
+		d.cool = d.cfg.Cooldown
+		return out
+	}
+	d.fold(w, hot)
+	return out
+}
+
+// fold advances the EWMA baselines with a stable window.
+func (d *Detector) fold(w WindowStats, hot map[uint64]struct{}) {
+	a := d.cfg.Alpha
+	d.ewmaShare = (1-a)*d.ewmaShare + a*w.TopShare
+	if w.Rate > 0 {
+		if d.ewmaRate == 0 {
+			d.ewmaRate = w.Rate
+		} else {
+			d.ewmaRate = (1-a)*d.ewmaRate + a*w.Rate
+		}
+	}
+	d.prevHot = hot
+}
+
+// churn returns the fraction of the previous window's top-K keys that
+// left the current top-K.
+func (d *Detector) churn(hot map[uint64]struct{}) float64 {
+	if len(d.prevHot) == 0 {
+		return 0
+	}
+	stay := 0
+	for k := range d.prevHot {
+		if _, ok := hot[k]; ok {
+			stay++
+		}
+	}
+	return 1 - float64(stay)/float64(len(d.prevHot))
+}

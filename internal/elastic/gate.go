@@ -1,0 +1,50 @@
+package elastic
+
+import "sync"
+
+// Gate publishes the active data plane to the packet-processing
+// goroutine with epoch-stamped atomic swaps. The controller builds and
+// state-migrates a replacement Plane entirely off to the side, then
+// Swap makes it visible in one step: a reader either sees the complete
+// old plane or the complete new one, never a mix — the "consistent
+// layout" invariant of the reoptimization loop. The plane returned by
+// Load is owned by the reader until its next Load (see sim.Pipeline's
+// ownership note); the controller never mutates a published plane.
+type Gate struct {
+	mu    sync.Mutex
+	epoch uint64
+	plane *Plane
+}
+
+// NewGate starts a gate serving the given plane at epoch 1.
+func NewGate(p *Plane) *Gate {
+	g := &Gate{}
+	g.Swap(p)
+	return g
+}
+
+// Load returns the active plane and the epoch it was installed at.
+// The pair is consistent: the plane's own Epoch field always equals
+// the returned epoch.
+func (g *Gate) Load() (*Plane, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.plane, g.epoch
+}
+
+// Epoch returns the current epoch without loading the plane.
+func (g *Gate) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Swap installs a fully-built plane and returns its new epoch.
+func (g *Gate) Swap(p *Plane) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.epoch++
+	p.Epoch = g.epoch
+	g.plane = p
+	return g.epoch
+}

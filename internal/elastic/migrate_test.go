@@ -1,0 +1,171 @@
+package elastic
+
+import (
+	"testing"
+
+	"p4all/internal/ilpgen"
+	"p4all/internal/structures"
+	"p4all/internal/workload"
+)
+
+// TestMigrateCMSGrowNeverUnderestimates is the migration acceptance
+// invariant: after a grow-migration, the carried sketch must never
+// report a smaller estimate than a fresh sketch fed the same suffix —
+// history can only add counts, never subtract them.
+func TestMigrateCMSGrowNeverUnderestimates(t *testing.T) {
+	old, err := structures.NewCountMinSketch(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := workload.ZipfKeys(9, 20000, 1.1, 30000)
+	for _, k := range prefix {
+		old.Update(k)
+	}
+	hot := Summarize(prefix, 0, 64, 256).HotKeys
+
+	migrated, err := MigrateCMS(old, 3, 1024, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := structures.NewCountMinSketch(3, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := workload.ZipfKeys(10, 20000, 1.1, 30000)
+	for _, k := range suffix {
+		migrated.Update(k)
+		fresh.Update(k)
+	}
+	for _, k := range suffix {
+		if m, f := migrated.Estimate(k), fresh.Estimate(k); m < f {
+			t.Fatalf("key %d: migrated estimate %d below fresh %d", k, m, f)
+		}
+	}
+	// The carried hot keys must keep at least their old estimates.
+	for _, kc := range hot {
+		if got, want := migrated.Estimate(kc.Key), old.Estimate(kc.Key); got < want {
+			t.Fatalf("hot key %d: migrated estimate %d lost carried count %d", kc.Key, got, want)
+		}
+	}
+}
+
+func TestMigrateCMSSameShapeLossless(t *testing.T) {
+	old, _ := structures.NewCountMinSketch(4, 512)
+	keys := workload.ZipfKeys(4, 5000, 1.0, 10000)
+	for _, k := range keys {
+		old.Update(k)
+	}
+	m, err := MigrateCMS(old, 4, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if m.Estimate(k) != old.Estimate(k) {
+			t.Fatalf("same-shape migration changed estimate of key %d", k)
+		}
+	}
+	// And it is a copy, not an alias.
+	m.Update(keys[0])
+	if m.Estimate(keys[0]) == old.Estimate(keys[0]) {
+		t.Fatal("same-shape migration aliased the old sketch")
+	}
+}
+
+func TestMigrateKVSSameShapeLossless(t *testing.T) {
+	old, _ := structures.NewKVStore(4, 256)
+	keys := workload.ZipfKeys(6, 3000, 1.0, 5000)
+	for _, k := range keys {
+		old.Put(k, k*3)
+	}
+	fresh, dropped, err := MigrateKVS(old, 4, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("same-shape migration dropped %d entries", dropped)
+	}
+	for _, e := range old.Entries() {
+		if v, ok := fresh.Get(e.Key); !ok || v != e.Val {
+			t.Fatalf("entry %d lost in same-shape migration", e.Key)
+		}
+	}
+}
+
+// TestMigrateKVSHotKeysWinContestedSlots shrinks the store so entries
+// collide, and checks the popularity ranking decides who survives.
+func TestMigrateKVSHotKeysWinContestedSlots(t *testing.T) {
+	old, _ := structures.NewKVStore(4, 64)
+	// Find two keys that collide in the small target shape (1x16) but
+	// occupy distinct slots in the source shape. Each candidate is
+	// probed against a store holding only key 1, so a failed
+	// PutIfVacant means a true collision with key 1's slot.
+	var k1, k2 uint64
+	for k := uint64(2); ; k++ {
+		probe, _ := structures.NewKVStore(1, 16)
+		probe.Put(1, 0)
+		if !probe.PutIfVacant(k, 0) {
+			k1, k2 = 1, k
+			break
+		}
+	}
+	old.Put(k1, 100)
+	old.Put(k2, 200)
+	if _, ok := old.Get(k1); !ok {
+		t.Fatal("k1 lost in source store")
+	}
+	if _, ok := old.Get(k2); !ok {
+		t.Skip("probe keys collide in the source shape too")
+	}
+
+	rank := func(k uint64) uint64 {
+		if k == k2 {
+			return 10 // k2 is the hot one
+		}
+		return 1
+	}
+	fresh, dropped, err := MigrateKVS(old, 1, 16, rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get(k2); !ok || v != 200 {
+		t.Fatalf("hot key %d did not win its slot (present=%v val=%d)", k2, ok, v)
+	}
+	if _, ok := fresh.Get(k1); ok {
+		t.Fatalf("cold collider %d evicted the hot key's claim", k1)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestDiffLayouts(t *testing.T) {
+	old := &ilpgen.Layout{
+		Symbolics: map[string]int64{"cms_rows": 4, "cms_cols": 3072, "kv_slots": 3072},
+		Registers: []ilpgen.RegPlacement{
+			{Register: "cms", Index: 0, Cells: 3072, Stages: []int{1}},
+			{Register: "kv", Index: 0, Cells: 3072, Stages: []int{2}},
+		},
+		Placements: []ilpgen.Placement{{Name: "incr[0]", Stage: 1}},
+	}
+	new_ := &ilpgen.Layout{
+		Symbolics: map[string]int64{"cms_rows": 3, "cms_cols": 1024, "kv_slots": 12288},
+		Registers: []ilpgen.RegPlacement{
+			{Register: "cms", Index: 0, Cells: 1024, Stages: []int{1}},
+			{Register: "kv", Index: 0, Cells: 12288, Stages: []int{3}},
+		},
+		Placements: []ilpgen.Placement{{Name: "incr[0]", Stage: 2}},
+	}
+	d := DiffLayouts(old, new_)
+	if d.Same() {
+		t.Fatal("diff of different layouts reported Same")
+	}
+	if len(d.Changed) != 3 {
+		t.Fatalf("changed symbolics = %v, want 3", d.Changed)
+	}
+	if d.MovedRegisters != 2 || d.MovedActions != 1 {
+		t.Fatalf("moved registers=%d actions=%d, want 2 and 1", d.MovedRegisters, d.MovedActions)
+	}
+	if !DiffLayouts(old, old).Same() {
+		t.Fatal("self-diff not Same")
+	}
+}

@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"fmt"
+
+	"p4all/internal/apps"
+	"p4all/internal/elastic"
+	"p4all/internal/ilp"
+	"p4all/internal/obs"
+	"p4all/internal/pisa"
+	"p4all/internal/workload"
+)
+
+// ------------------------------------------------------------ Drift
+
+// DriftConfig parameterizes the workload-drift experiment: a request
+// stream whose skew steps mid-run, served once by a frozen layout and
+// once by the elastic controller.
+type DriftConfig struct {
+	Seed       int64
+	Keys       int                   // key universe
+	Window     int                   // requests per controller window
+	Phases     []workload.DriftPhase // the drifting workload
+	Threshold  uint32                // CMS estimate admitting a key into the cache
+	ResetEvery int                   // windows between CMS resets (0: no reset); applied identically to both runs
+	Target     pisa.Target
+	Solver     ilp.Options
+}
+
+// DefaultDriftConfig is five windows of heavy skew followed by ten
+// windows of a flat workload — the regime shift the controller exists
+// to absorb. The target is small enough that re-solves take tens of
+// milliseconds; the 5% gap mirrors the controller's operating point
+// (proving 3% on this target costs more nodes than finding the
+// optimum).
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{
+		Seed:   1,
+		Keys:   50000,
+		Window: 20000,
+		Phases: []workload.DriftPhase{
+			{Skew: 1.1, Requests: 5 * 20000},
+			{Skew: 0.5, Requests: 10 * 20000},
+		},
+		Threshold: 8,
+		Target: pisa.Target{
+			Name: "drift-eval", Stages: 6, MemoryBits: 96 * 1024,
+			StatefulALUs: 4, StatelessALUs: 100, PHVBits: 4096,
+		},
+		Solver: ilp.Options{Gap: 0.05},
+	}
+}
+
+// DriftPoint is one traffic window of the experiment.
+type DriftPoint struct {
+	Window     int
+	TopShare   float64 // observed top-64 share of the window
+	HitFrozen  float64
+	HitElastic float64
+	Action     string // what the controller did ("", "kept", "adopted")
+	Epoch      uint64 // elastic gate epoch after the window
+}
+
+// DriftResult is the paired frozen/elastic comparison.
+type DriftResult struct {
+	Points    []DriftPoint
+	Resolves  int  // re-solves the controller ran
+	Adoptions int  // how many were adopted
+	AllWarm   bool // every re-solve was warm-started from the incumbent
+	// Steady-state hit rates: the mean over the final three windows,
+	// once the elastic run has settled into the new regime.
+	FrozenSteady  float64
+	ElasticSteady float64
+	// Final cache capacities (items), showing where the memory went.
+	FrozenKVItems  int64
+	ElasticKVItems int64
+}
+
+// FigureDrift runs the drift experiment: the same request stream is
+// served by a layout frozen at its initial compile and by the elastic
+// controller, with identical CMS reset cadence, and the per-window hit
+// rates are compared. The elastic run should collapse with the frozen
+// one at the skew step and then recover as the controller re-solves
+// and migrates.
+func FigureDrift(cfg DriftConfig) (*DriftResult, error) {
+	return FigureDriftTraced(cfg, nil)
+}
+
+// FigureDriftTraced is FigureDrift with compile and controller
+// tracing.
+func FigureDriftTraced(cfg DriftConfig, tr *obs.Tracer) (*DriftResult, error) {
+	program := func(utility string) string {
+		return apps.NetCache(apps.NetCacheConfig{Utility: utility}).Source
+	}
+	newController := func() (*elastic.Controller, error) {
+		return elastic.New(elastic.Config{
+			Target:       cfg.Target,
+			Program:      program,
+			InitialShare: 0.55, // both runs start tuned for the heavy phase
+			Solver:       cfg.Solver,
+			Tracer:       tr,
+		})
+	}
+	frozen, err := newController()
+	if err != nil {
+		return nil, fmt.Errorf("drift: frozen compile: %w", err)
+	}
+	ctrl, err := newController()
+	if err != nil {
+		return nil, fmt.Errorf("drift: elastic compile: %w", err)
+	}
+
+	serve := func(p *elastic.Plane, keys []uint64) int {
+		hits := 0
+		for _, k := range keys {
+			if _, ok := p.KV.Get(k); ok {
+				hits++
+				continue
+			}
+			if p.CMS.Update(k) >= cfg.Threshold {
+				p.KV.Put(k, k*3)
+			}
+		}
+		return hits
+	}
+
+	stream := workload.ZipfDriftKeys(cfg.Seed, cfg.Keys, cfg.Phases)
+	out := &DriftResult{AllWarm: true}
+	win := 0
+	for off := 0; off+cfg.Window <= len(stream); off += cfg.Window {
+		keys := stream[off : off+cfg.Window]
+		if cfg.ResetEvery > 0 && win > 0 && win%cfg.ResetEvery == 0 {
+			frozen.Plane().CMS.Reset()
+			ctrl.Plane().CMS.Reset()
+		}
+		fHits := serve(frozen.Plane(), keys)
+		eHits := serve(ctrl.Plane(), keys)
+		w := elastic.Summarize(keys, eHits, 64, 256)
+		dec := ctrl.Observe(w)
+		pt := DriftPoint{
+			Window:     win,
+			TopShare:   w.TopShare,
+			HitFrozen:  float64(fHits) / float64(len(keys)),
+			HitElastic: w.HitRate(),
+			Epoch:      dec.Epoch,
+		}
+		switch dec.Action {
+		case elastic.ActionKept:
+			pt.Action = "kept"
+		case elastic.ActionAdopted:
+			pt.Action = "adopted"
+		}
+		if dec.Stats != nil {
+			out.Resolves++
+			if !dec.Stats.WarmStarted {
+				out.AllWarm = false
+			}
+		}
+		if dec.Action == elastic.ActionAdopted {
+			out.Adoptions++
+		}
+		out.Points = append(out.Points, pt)
+		win++
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("drift: stream of %d requests yields no %d-request windows", len(stream), cfg.Window)
+	}
+
+	tail := 3
+	if tail > len(out.Points) {
+		tail = len(out.Points)
+	}
+	for _, pt := range out.Points[len(out.Points)-tail:] {
+		out.FrozenSteady += pt.HitFrozen / float64(tail)
+		out.ElasticSteady += pt.HitElastic / float64(tail)
+	}
+	fl, el := frozen.Plane().Layout, ctrl.Plane().Layout
+	out.FrozenKVItems = fl.Symbolic("kv_parts") * fl.Symbolic("kv_slots")
+	out.ElasticKVItems = el.Symbolic("kv_parts") * el.Symbolic("kv_slots")
+	return out, nil
+}

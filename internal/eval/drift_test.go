@@ -1,0 +1,31 @@
+package eval
+
+import "testing"
+
+// TestFigureDriftRecovery is the drift acceptance story: after the
+// skew step the frozen layout's hit rate stays depressed while the
+// elastic controller re-solves (warm-started), migrates, and recovers.
+func TestFigureDriftRecovery(t *testing.T) {
+	res, err := FigureDrift(DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adoptions < 1 {
+		t.Fatalf("controller never adopted a new layout (%d re-solves)", res.Resolves)
+	}
+	if !res.AllWarm {
+		t.Error("a re-solve ran cold; warm starts must carry across windows")
+	}
+	if res.ElasticSteady <= res.FrozenSteady {
+		t.Errorf("elastic steady-state %.3f not above frozen %.3f",
+			res.ElasticSteady, res.FrozenSteady)
+	}
+	if res.ElasticKVItems <= res.FrozenKVItems {
+		t.Errorf("flat phase did not grow the KV store: frozen %d vs elastic %d items",
+			res.FrozenKVItems, res.ElasticKVItems)
+	}
+	for _, pt := range res.Points {
+		t.Logf("w%02d share=%.3f frozen=%.3f elastic=%.3f %s (epoch %d)",
+			pt.Window, pt.TopShare, pt.HitFrozen, pt.HitElastic, pt.Action, pt.Epoch)
+	}
+}

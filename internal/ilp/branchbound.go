@@ -24,6 +24,17 @@ type Options struct {
 	// DisableHeuristic skips the initial rounding dive used to seed an
 	// incumbent (used by ablation benchmarks).
 	DisableHeuristic bool
+	// Start, when non-nil, supplies a MIP start: a candidate value per
+	// model variable (length must equal the model's variable count,
+	// else Solve returns an error). The vector is projected onto the
+	// variable bounds — integer variables rounded, everything clamped —
+	// and, if the projected point satisfies every constraint, installed
+	// as the root incumbent before branching so the search starts with
+	// a proven bound. An infeasible start is silently dropped (the
+	// solve proceeds cold); Solution.WarmStarted reports which happened.
+	// Re-solves of a perturbed model seeded from the previous solution
+	// prune most of the tree and are typically near-instant.
+	Start []float64
 	// Progress, when non-nil, receives search snapshots: the root
 	// relaxation, every incumbent improvement, a heartbeat every
 	// ProgressEvery nodes, and the terminal state. A nil hook costs
@@ -148,6 +159,16 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		}
 	}
 
+	var startX []float64
+	startObj := math.Inf(1)
+	if opts.Start != nil {
+		if len(opts.Start) != sf.nStruct {
+			return nil, fmt.Errorf("ilp: start vector has %d values for %d variables", len(opts.Start), sf.nStruct)
+		}
+		startX, startObj = projectStart(sf, opts.Start)
+	}
+	warmUsed := false
+
 	total := lpCounts{}
 	sign := 1.0
 	if m.sense == Maximize {
@@ -199,7 +220,7 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		opts.Progress(p)
 	}
 	finish := func(status Status, objMin float64, x []float64, nodes int) *Solution {
-		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: total.iters, Refactorizations: total.refactors, RootBound: rootBound}
+		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: total.iters, Refactorizations: total.refactors, RootBound: rootBound, WarmStarted: warmUsed}
 		if x != nil {
 			sol.Values = x
 			// lowerModel folded the sense into cost and objK, so the
@@ -248,17 +269,43 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		bestX   []float64
 		nodes   = 1
 	)
+	if startX != nil {
+		// The projected MIP start is feasible: install it as the root
+		// incumbent. When it is already within the requested gap of the
+		// root bound the search stops here — the warm re-solve of a
+		// lightly perturbed model costs one LP.
+		bestObj, bestX = startObj, startX
+		warmUsed = true
+		emit(ProgressIncumbent, nodes, bestObj, true)
+		if bestObj <= rootMin+1e-9 || (opts.Gap > 0 && relGap(bestObj, rootMin) <= opts.Gap) {
+			return finish(StatusOptimal, bestObj, bestX, nodes), nil
+		}
+	}
+	diveImproved := false
 	if !opts.DisableHeuristic {
-		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &total); ok {
+		// The rounding dive runs even on warm starts: a start from a
+		// differently-weighted objective seeds pruning but is often far
+		// from this objective's optimum, and the dive closes that gap
+		// cheaply. The incumbent keeps whichever is better.
+		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &total); ok && hobj < bestObj {
 			bestObj, bestX = hobj, hx
+			diveImproved = true
 		}
 	}
 	queue = &nodeQueue{}
 	heap.Init(queue)
 	heap.Push(queue, &node{lo: lo, hi: hi, bound: obj, depth: 0})
 	if bestX != nil {
-		// The dive seeded an incumbent before any branching.
-		emit(ProgressIncumbent, nodes, bestObj, true)
+		if diveImproved || !warmUsed {
+			// The dive seeded (or improved) the incumbent.
+			emit(ProgressIncumbent, nodes, bestObj, true)
+		}
+		// An incumbent already at the root bound (or within the
+		// requested gap of it) cannot be improved enough to matter:
+		// stop before opening the tree.
+		if bestObj <= rootMin+1e-9 || (opts.Gap > 0 && relGap(bestObj, rootMin) <= opts.Gap) {
+			return finish(StatusOptimal, bestObj, bestX, nodes), nil
+		}
 	}
 
 	// Best-first over the open queue with depth-first plunging inside
@@ -322,6 +369,52 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		return finish(StatusInfeasible, 0, nil, nodes), nil
 	}
 	return finish(StatusOptimal, bestObj, bestX, nodes), nil
+}
+
+// projectStart maps a caller-supplied MIP start onto the lowered
+// model: integer variables are rounded, all values are clamped to
+// their bounds, and the result is kept only if it satisfies every
+// (row-scaled) constraint. Returns (nil, +Inf) when the projected
+// point is infeasible. The returned objective is in minimization
+// sense, matching the search's internal convention.
+func projectStart(sf *standardForm, start []float64) ([]float64, float64) {
+	x := make([]float64, sf.nStruct)
+	for j := 0; j < sf.nStruct; j++ {
+		v := start[j]
+		if sf.intVar[j] {
+			v = math.Round(v)
+		}
+		x[j] = math.Min(math.Max(v, sf.lo[j]), sf.hi[j])
+	}
+	act := make([]float64, sf.m)
+	for j, col := range sf.cols {
+		if x[j] == 0 {
+			continue
+		}
+		for k, i := range col.ind {
+			act[i] += col.val[k] * x[j]
+		}
+	}
+	for i := 0; i < sf.m; i++ {
+		tol := 1e-6 * math.Max(1, math.Abs(sf.b[i]))
+		ok := false
+		switch sf.ops[i] {
+		case LE:
+			ok = act[i] <= sf.b[i]+tol
+		case GE:
+			ok = act[i] >= sf.b[i]-tol
+		case EQ:
+			ok = math.Abs(act[i]-sf.b[i]) <= tol
+		}
+		if !ok {
+			return nil, math.Inf(1)
+		}
+	}
+	obj := 0.0
+	for j := 0; j < sf.nStruct; j++ {
+		obj += sf.cost[j] * x[j]
+	}
+	return x, obj
 }
 
 func relGap(best, bound float64) float64 {

@@ -273,6 +273,9 @@ type Solution struct {
 	// BestBound is the tightest proven bound on the optimum at
 	// termination (equals Objective when optimality was proven).
 	BestBound float64
+	// WarmStarted reports that Options.Start projected to a feasible
+	// point and was installed as the root incumbent.
+	WarmStarted bool
 }
 
 // AchievedGap returns |Objective - BestBound| / max(1, |Objective|),

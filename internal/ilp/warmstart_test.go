@@ -1,0 +1,150 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// correlatedKnapsack builds a two-constraint maximize knapsack whose
+// values track its weights and whose capacities are fractional — the
+// root relaxation is fractional and a cold solve has to open a real
+// tree.
+func correlatedKnapsack(n int, bump float64) *Model {
+	m := NewModel("knapsack")
+	obj := NewExpr()
+	w1 := NewExpr()
+	w2 := NewExpr()
+	t1, t2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := m.AddBinary(fmt.Sprintf("x%d", i))
+		a := float64(2*i + 3)
+		b := float64((i*7)%11 + 2)
+		v := a + b + float64(i%3) + bump*float64(i%5)
+		obj.Add(x, v)
+		w1.Add(x, a)
+		w2.Add(x, b)
+		t1 += a
+		t2 += b
+	}
+	m.AddConstr("cap1", w1, LE, 0.5*t1-0.7)
+	m.AddConstr("cap2", w2, LE, 0.6*t2-0.3)
+	m.SetObjective(obj, Maximize)
+	return m
+}
+
+// TestWarmStartFewerNodes re-solves a perturbed model seeded with the
+// previous solution and requires the warm search to explore strictly
+// fewer branch-and-bound nodes than the cold search of the same model.
+func TestWarmStartFewerNodes(t *testing.T) {
+	base := correlatedKnapsack(20, 0)
+	cold0, err := Solve(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold0.Status != StatusOptimal {
+		t.Fatalf("base solve: %v", cold0.Status)
+	}
+	if cold0.WarmStarted {
+		t.Fatal("cold solve reported WarmStarted")
+	}
+
+	// Perturb the objective (the elastic controller's re-weighting
+	// scenario: same feasible region, shifted utility) and re-solve at
+	// the compiler's default 3% certified gap — the configuration every
+	// core.Compile solve actually runs with.
+	pert := correlatedKnapsack(20, 0.25)
+	cold, err := Solve(pert, Options{Gap: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(pert, Options{Gap: 0.03, Start: cold0.Values})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("warm solve did not install the MIP start")
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm solve: %v", warm.Status)
+	}
+	if warm.AchievedGap() > 0.03+1e-9 {
+		t.Fatalf("warm solve certified gap %g > 0.03", warm.AchievedGap())
+	}
+	if warm.Nodes >= cold.Nodes {
+		t.Fatalf("warm solve explored %d nodes, cold explored %d; want warm < cold", warm.Nodes, cold.Nodes)
+	}
+	t.Logf("cold %d nodes, warm %d nodes", cold.Nodes, warm.Nodes)
+}
+
+// TestWarmStartGapTermination checks that an incumbent within the
+// requested gap of the root bound stops the search at the root.
+func TestWarmStartGapTermination(t *testing.T) {
+	m := correlatedKnapsack(20, 0)
+	exact, err := Solve(m, Options{Gap: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(m, Options{Start: exact.Values, Gap: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted || warm.Status != StatusOptimal {
+		t.Fatalf("warm=%v status=%v", warm.WarmStarted, warm.Status)
+	}
+	if warm.Nodes != 1 {
+		t.Fatalf("gap-satisfied warm start explored %d nodes, want 1", warm.Nodes)
+	}
+}
+
+// TestWarmStartProjection: fractional and out-of-bounds entries are
+// rounded and clamped before the feasibility check.
+func TestWarmStartProjection(t *testing.T) {
+	// The LP relaxation of this model is fractional (x+y = 6.5), so the
+	// solve must branch — the start actually matters.
+	build := func() *Model {
+		m := NewModel("proj")
+		x := m.AddInt("x", 0, 10)
+		y := m.AddInt("y", 0, 10)
+		w := NewExpr()
+		w.Add(x, 2).Add(y, 2)
+		m.AddConstr("weight", w, LE, 13)
+		obj := NewExpr()
+		obj.Add(x, 1).Add(y, 1)
+		m.SetObjective(obj, Maximize)
+		return m
+	}
+	// 6.4 rounds to 6; 99 clamps to 10 — but 2*(6+10) > 13, infeasible,
+	// so the start is dropped and the solve proceeds cold.
+	sol, err := Solve(build(), Options{Start: []float64{6.4, 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WarmStarted {
+		t.Fatal("infeasible projected start was installed")
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-6) > 1e-6 {
+		t.Fatalf("status=%v obj=%g", sol.Status, sol.Objective)
+	}
+	// A feasible fractional start survives projection: [5.2, 0.9]
+	// rounds to [5, 1], weight 12 <= 13.
+	sol, err = Solve(build(), Options{Start: []float64{5.2, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Fatal("feasible projected start was not installed")
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-6) > 1e-6 {
+		t.Fatalf("status=%v obj=%g", sol.Status, sol.Objective)
+	}
+}
+
+// TestWarmStartBadLength: a wrong-sized start vector is an error, not
+// a silent misalignment.
+func TestWarmStartBadLength(t *testing.T) {
+	m := correlatedKnapsack(8, 0)
+	if _, err := Solve(m, Options{Start: []float64{1, 0}}); err == nil {
+		t.Fatal("expected error for mismatched start length")
+	}
+}

@@ -33,6 +33,7 @@ package ilpgen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"p4all/internal/dep"
 	"p4all/internal/ilp"
@@ -250,7 +251,16 @@ func (p *ILP) placementVars() {
 }
 
 func (p *ILP) iterationVars() {
-	for sym, bound := range p.Bounds.LoopBound {
+	// Iterate loop symbolics in name order: variable indices must be
+	// reproducible across compiles of the same program so that warm
+	// starts (ilp.Options.Start) from a previous solve line up.
+	syms := make([]*lang.Symbolic, 0, len(p.Bounds.LoopBound))
+	for sym := range p.Bounds.LoopBound {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	for _, sym := range syms {
+		bound := p.Bounds.LoopBound[sym]
 		vars := make([]ilp.Var, bound)
 		for i := 0; i < bound; i++ {
 			vars[i] = p.Model.AddBinary(fmt.Sprintf("d[%s][%d]", sym.Name, i))
@@ -631,11 +641,22 @@ func (p *ILP) memoryConstraints() error {
 			p.Model.AddConstr(fmt.Sprintf("memtotal-lb[%s/%d]", name, ri.Index), lb, ilp.GE, -bigM)
 		}
 	}
-	// #8: per-stage budget.
+	// #8: per-stage budget. Walk register instances in declaration
+	// order, not map order, so the generated model is identical across
+	// compiles (constraint order steers simplex pivots; a reproducible
+	// model keeps re-solves and warm starts reproducible too).
+	orderedInsts := make([]dep.RegInstance, 0, len(p.mem))
+	for _, regDecl := range p.Unit.Registers {
+		for _, ri := range p.insts[regDecl.Name] {
+			if _, ok := p.mem[ri]; ok {
+				orderedInsts = append(orderedInsts, ri)
+			}
+		}
+	}
 	for s := 0; s < S; s++ {
 		e := ilp.NewExpr()
-		for _, vars := range p.mem {
-			e.Add(vars[s], 1)
+		for _, ri := range orderedInsts {
+			e.Add(p.mem[ri][s], 1)
 		}
 		if e.Len() > 0 {
 			p.Model.AddConstr(fmt.Sprintf("mem-stage[%d]", s), e, ilp.LE, M)
@@ -648,9 +669,9 @@ func (p *ILP) memoryConstraints() error {
 	// arrays) across stages fractionally, doubling its apparent
 	// capacity.
 	nodeMems := make(map[int][][]ilp.Var)
-	for ri, vars := range p.mem {
+	for _, ri := range orderedInsts {
 		if node, ok := p.Graph.RegNodes[ri]; ok {
-			nodeMems[node] = append(nodeMems[node], vars)
+			nodeMems[node] = append(nodeMems[node], p.mem[ri])
 		}
 	}
 	for node := 0; node < len(p.Graph.Nodes); node++ {

@@ -53,6 +53,13 @@ type Stats struct {
 	// proxy for numerical effort).
 	Refactors int
 	Gap       float64
+	// LimitHit reports that a node or time limit stopped the search
+	// before the requested gap was certified (the layout is the best
+	// incumbent found).
+	LimitHit bool
+	// WarmStarted reports that the solve installed a caller-supplied
+	// MIP start (ilp.Options.Start) as its root incumbent.
+	WarmStarted bool
 }
 
 // Layout is a concrete solution: symbolic assignments plus the mapping
@@ -66,6 +73,11 @@ type Layout struct {
 	Registers  []RegPlacement
 	Stages     []StageUse
 	Stats      Stats
+	// Values is the raw solver assignment, one entry per ILP variable.
+	// A later re-solve of the same program (possibly under a different
+	// utility) can pass it as ilp.Options.Start to warm-start the
+	// search from this layout.
+	Values []float64
 }
 
 // Symbolic returns the solved value of the named symbolic.
@@ -107,7 +119,10 @@ func (p *ILP) extract(sol *ilp.Solution) (*Layout, error) {
 			SimplexIter: sol.SimplexIters,
 			Refactors:   sol.Refactorizations,
 			Gap:         sol.AchievedGap(),
+			LimitHit:    sol.Status == ilp.StatusLimit,
+			WarmStarted: sol.WarmStarted,
 		},
+		Values: append([]float64(nil), sol.Values...),
 	}
 	for _, sym := range p.Unit.Symbolics {
 		v := p.symValueExpr(sym).Eval(sol.Values)

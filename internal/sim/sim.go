@@ -41,6 +41,13 @@ func (s Stats) TotalALUOps() uint64 {
 }
 
 // Pipeline is an executable compiled program.
+//
+// Ownership: a Pipeline is owned by a single goroutine. Process, Stats,
+// Register, Snapshot, and Restore must all be called from that owner;
+// the elastic controller's atomic-swap protocol (internal/elastic.Gate)
+// keeps this invariant while still allowing reoptimization concurrent
+// with packet processing — the new pipeline is built and state-migrated
+// off to the side, and only the swap itself synchronizes.
 type Pipeline struct {
 	unit   *lang.Unit
 	layout *ilpgen.Layout
@@ -110,6 +117,73 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 		return p.steps[i].iter < p.steps[j].iter
 	})
 	return p, nil
+}
+
+// Layout returns the solved layout this pipeline executes.
+func (p *Pipeline) Layout() *ilpgen.Layout { return p.layout }
+
+// Unit returns the resolved program unit this pipeline executes.
+func (p *Pipeline) Unit() *lang.Unit { return p.unit }
+
+// Snapshot is a deep copy of a pipeline's register state, detached
+// from the live pipeline. It is the unit of state migration: the
+// elastic controller snapshots the incumbent pipeline, transforms the
+// state to the new layout's shapes, and restores it into the
+// replacement before swapping.
+type Snapshot struct {
+	// Regs[name][instance] holds the cells of each register instance;
+	// a nil instance was not materialized in the layout.
+	Regs map[string][][]uint64
+}
+
+// Snapshot deep-copies the pipeline's register state.
+func (p *Pipeline) Snapshot() *Snapshot {
+	s := &Snapshot{Regs: make(map[string][][]uint64, len(p.regs))}
+	for name, insts := range p.regs {
+		cp := make([][]uint64, len(insts))
+		for i, cells := range insts {
+			if cells != nil {
+				cp[i] = append([]uint64(nil), cells...)
+			}
+		}
+		s.Regs[name] = cp
+	}
+	return s
+}
+
+// Restore installs a snapshot taken from a pipeline of the same shape
+// (same register names, instance counts, and cell counts). Shape
+// mismatches are rejected: migrating state across layouts is the
+// elastic controller's job (internal/elastic), not Restore's.
+func (p *Pipeline) Restore(s *Snapshot) error {
+	if len(s.Regs) != len(p.regs) {
+		return fmt.Errorf("sim: snapshot has %d registers, pipeline has %d", len(s.Regs), len(p.regs))
+	}
+	for name, insts := range p.regs {
+		src, ok := s.Regs[name]
+		if !ok {
+			return fmt.Errorf("sim: snapshot missing register %s", name)
+		}
+		if len(src) != len(insts) {
+			return fmt.Errorf("sim: register %s has %d instances in snapshot, %d in pipeline", name, len(src), len(insts))
+		}
+		for i, cells := range insts {
+			if (cells == nil) != (src[i] == nil) {
+				return fmt.Errorf("sim: register %s/%d materialization differs between snapshot and pipeline", name, i)
+			}
+			if cells != nil && len(src[i]) != len(cells) {
+				return fmt.Errorf("sim: register %s/%d has %d cells in snapshot, %d in pipeline", name, i, len(src[i]), len(cells))
+			}
+		}
+	}
+	for name, insts := range p.regs {
+		for i, cells := range insts {
+			if cells != nil {
+				copy(cells, s.Regs[name][i])
+			}
+		}
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the pipeline's work counters.

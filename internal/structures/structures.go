@@ -67,6 +67,35 @@ func (c *CountMinSketch) Update(key uint64) uint32 {
 	return est
 }
 
+// Add credits n occurrences of the key in one step (saturating) and
+// returns the new estimate. Migration uses it to re-admit a key's
+// carried count into a re-shaped sketch.
+func (c *CountMinSketch) Add(key uint64, n uint32) uint32 {
+	est := ^uint32(0)
+	for r := 0; r < c.rows; r++ {
+		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		cell := &c.counts[r][idx]
+		if *cell > ^uint32(0)-n {
+			*cell = ^uint32(0)
+		} else {
+			*cell += n
+		}
+		if *cell < est {
+			est = *cell
+		}
+	}
+	return est
+}
+
+// Clone returns an independent deep copy of the sketch.
+func (c *CountMinSketch) Clone() *CountMinSketch {
+	out := &CountMinSketch{rows: c.rows, cols: c.cols, counts: make([][]uint32, c.rows)}
+	for r := range c.counts {
+		out.counts[r] = append([]uint32(nil), c.counts[r]...)
+	}
+	return out
+}
+
 // Estimate returns the current estimate without updating.
 func (c *CountMinSketch) Estimate(key uint64) uint32 {
 	est := ^uint32(0)
@@ -167,6 +196,47 @@ func NewKVStore(parts, slots int) (*KVStore, error) {
 
 // Capacity returns the total item capacity.
 func (s *KVStore) Capacity() int { return s.parts * s.slots }
+
+// Parts returns the partition count.
+func (s *KVStore) Parts() int { return s.parts }
+
+// Slots returns the per-partition slot count.
+func (s *KVStore) Slots() int { return s.slots }
+
+// Entry is one occupied key-value slot.
+type Entry struct {
+	Key, Val uint64
+}
+
+// Entries returns every occupied slot in deterministic (partition,
+// slot) order — the working set a migration re-admits into a re-shaped
+// store.
+func (s *KVStore) Entries() []Entry {
+	var out []Entry
+	for p := 0; p < s.parts; p++ {
+		for i := 0; i < s.slots; i++ {
+			if s.used[p][i] {
+				out = append(out, Entry{Key: s.keys[p][i], Val: s.vals[p][i]})
+			}
+		}
+	}
+	return out
+}
+
+// PutIfVacant inserts the key only if its slot is empty or already
+// holds the key, reporting whether the value landed. Migration inserts
+// in popularity-rank order, so hot keys claim contested slots first
+// and are never evicted by colder colliders.
+func (s *KVStore) PutIfVacant(key, val uint64) bool {
+	p, i := s.slot(key)
+	if s.used[p][i] && s.keys[p][i] != key {
+		return false
+	}
+	s.keys[p][i] = key
+	s.vals[p][i] = val
+	s.used[p][i] = true
+	return true
+}
 
 func (s *KVStore) slot(key uint64) (int, int) {
 	part := int(hashUint(key, 977) % uint64(s.parts))

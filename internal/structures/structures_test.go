@@ -369,3 +369,66 @@ func TestHashIndependenceAcrossRows(t *testing.T) {
 		t.Errorf("rows collide on %d/%d keys; hashes not independent", same, n)
 	}
 }
+
+func TestCMSAddAndClone(t *testing.T) {
+	cms, _ := NewCountMinSketch(3, 64)
+	for i := 0; i < 10; i++ {
+		cms.Update(7)
+	}
+	if est := cms.Add(7, 5); est != 15 {
+		t.Errorf("Add returned %d, want 15", est)
+	}
+	cl := cms.Clone()
+	if cl.Estimate(7) != 15 {
+		t.Errorf("clone estimate = %d, want 15", cl.Estimate(7))
+	}
+	cl.Update(7)
+	if cms.Estimate(7) != 15 {
+		t.Errorf("clone shares state with original: %d", cms.Estimate(7))
+	}
+	// Saturation: Add never wraps.
+	sat, _ := NewCountMinSketch(1, 4)
+	sat.Add(3, ^uint32(0)-1)
+	if est := sat.Add(3, 10); est != ^uint32(0) {
+		t.Errorf("saturating Add = %d, want max", est)
+	}
+}
+
+func TestKVStoreEntriesAndPutIfVacant(t *testing.T) {
+	kv, _ := NewKVStore(2, 8)
+	kv.Put(1, 100)
+	kv.Put(2, 200)
+	ents := kv.Entries()
+	if len(ents) != 2 {
+		t.Fatalf("Entries returned %d items, want 2", len(ents))
+	}
+	got := map[uint64]uint64{}
+	for _, e := range ents {
+		got[e.Key] = e.Val
+	}
+	if got[1] != 100 || got[2] != 200 {
+		t.Errorf("Entries = %v", got)
+	}
+	// PutIfVacant refuses to evict a different key in the same slot.
+	var collider uint64
+	p0, i0 := kv.slot(1)
+	for k := uint64(3); ; k++ {
+		if p, i := kv.slot(k); p == p0 && i == i0 {
+			collider = k
+			break
+		}
+	}
+	if kv.PutIfVacant(collider, 1) {
+		t.Error("PutIfVacant evicted an existing key")
+	}
+	if v, ok := kv.Get(1); !ok || v != 100 {
+		t.Errorf("existing entry disturbed: %v %v", v, ok)
+	}
+	// Same key may be refreshed; vacant slots accept.
+	if !kv.PutIfVacant(1, 101) {
+		t.Error("PutIfVacant refused to refresh the same key")
+	}
+	if kv.Parts() != 2 || kv.Slots() != 8 {
+		t.Errorf("Parts/Slots = %d/%d", kv.Parts(), kv.Slots())
+	}
+}

@@ -66,6 +66,64 @@ func searchCDF(cdf []float64, u float64) int {
 	return lo
 }
 
+// DriftPhase is one regime of a time-varying workload: Requests keys
+// drawn at Zipf skew Skew (linearly ramped to RampTo when RampTo > 0),
+// with the popularity ranking rotated by Rotate positions — the same
+// skew served by different keys, the churn half of workload drift.
+type DriftPhase struct {
+	Skew     float64
+	RampTo   float64 // 0 means constant skew across the phase
+	Requests int
+	Rotate   int
+}
+
+// rampSegments subdivides a ramped phase so the skew changes in small
+// steps; a constant phase is a single segment.
+const rampSegments = 16
+
+// ZipfDriftKeys generates a key-request stream that drifts through the
+// given phases over a universe of `keys` keys. The stream is a pure
+// function of (seed, keys, phases): drift scenarios replay exactly.
+// Key IDs follow popularity rank as in ZipfKeys, shifted per phase by
+// Rotate (mod keys), so a rotation keeps the skew but moves which keys
+// are hot.
+func ZipfDriftKeys(seed int64, keys int, phases []DriftPhase) []uint64 {
+	var out []uint64
+	for pi, ph := range phases {
+		segs := 1
+		if ph.RampTo > 0 && ph.RampTo != ph.Skew {
+			segs = rampSegments
+			if ph.Requests < segs {
+				segs = ph.Requests
+			}
+		}
+		for si := 0; si < segs; si++ {
+			n := ph.Requests/segs + boolInt(si < ph.Requests%segs)
+			if n == 0 {
+				continue
+			}
+			s := ph.Skew
+			if segs > 1 {
+				s += (ph.RampTo - ph.Skew) * float64(si) / float64(segs-1)
+			}
+			// Distinct deterministic sub-seed per (phase, segment).
+			sub := seed ^ int64(pi+1)*0x9E3779B9 ^ int64(si+1)<<20
+			ranks := ZipfKeys(sub, keys, s, n)
+			for _, r := range ranks {
+				out = append(out, (r+uint64(ph.Rotate))%uint64(keys))
+			}
+		}
+	}
+	return out
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Packet is one synthetic packet: a flow key and a byte length.
 type Packet struct {
 	Flow uint64

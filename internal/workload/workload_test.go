@@ -138,3 +138,155 @@ func TestZipfCDFMonotone(t *testing.T) {
 		t.Errorf("CDF tail = %g, want 1", cdf[len(cdf)-1])
 	}
 }
+
+func TestZipfCDFNearOneBoundary(t *testing.T) {
+	// The sampler switches implementations at s = 1 (inverse CDF below,
+	// rand.Zipf above). Just below the boundary the CDF path must stay
+	// well-formed and the two sides must agree qualitatively: hot ranks
+	// dominate on both.
+	for _, s := range []float64{0.999999, 1.0} {
+		cdf := zipfCDF(5000, s)
+		if math.IsNaN(cdf[0]) || cdf[0] <= 0 {
+			t.Fatalf("s=%g: cdf[0] = %g", s, cdf[0])
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] || math.IsNaN(cdf[i]) {
+				t.Fatalf("s=%g: CDF broken at %d", s, i)
+			}
+		}
+		if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+			t.Fatalf("s=%g: tail = %g", s, cdf[len(cdf)-1])
+		}
+	}
+	share := func(s float64) float64 {
+		keys := ZipfKeys(11, 5000, s, 50000)
+		hot := 0
+		for _, k := range keys {
+			if k < 50 {
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(keys))
+	}
+	below, above := share(0.999999), share(1.000001)
+	if below < 0.2 || above < 0.2 {
+		t.Errorf("top-1%% share collapsed at the s=1 boundary: below=%.3f above=%.3f", below, above)
+	}
+	if r := below / above; r < 0.5 || r > 2 {
+		t.Errorf("sampler discontinuity at s=1: below=%.3f above=%.3f", below, above)
+	}
+}
+
+func TestZipfZeroSkewUniform(t *testing.T) {
+	keys := ZipfKeys(5, 100, 0, 100000)
+	counts := make([]int, 100)
+	for _, k := range keys {
+		counts[k]++
+	}
+	// Every key should land near the uniform expectation of 1000.
+	for k, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("s=0 not uniform: key %d drawn %d times (expect ~1000)", k, c)
+		}
+	}
+}
+
+func TestTraceSeedDeterminism(t *testing.T) {
+	cfg := TraceConfig{Seed: 99, Flows: 500, Skew: 1.1, Packets: 2000}
+	a, b := Trace(cfg), Trace(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed traces diverged at packet %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 100
+	c := Trace(cfg)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestZipfDriftDeterministic(t *testing.T) {
+	phases := []DriftPhase{
+		{Skew: 1.1, Requests: 3000},
+		{Skew: 1.1, RampTo: 0.5, Requests: 2000},
+		{Skew: 0.5, Requests: 3000, Rotate: 40},
+	}
+	a := ZipfDriftKeys(17, 200, phases)
+	b := ZipfDriftKeys(17, 200, phases)
+	if len(a) != 8000 {
+		t.Fatalf("drift stream length = %d, want 8000", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed drift streams diverged at %d", i)
+		}
+		if a[i] >= 200 {
+			t.Fatalf("key %d out of universe", a[i])
+		}
+	}
+	c := ZipfDriftKeys(18, 200, phases)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical drift streams")
+	}
+}
+
+func TestZipfDriftPhasesShiftHotSet(t *testing.T) {
+	const keys = 1000
+	phases := []DriftPhase{
+		{Skew: 1.2, Requests: 40000},
+		{Skew: 1.2, Requests: 40000, Rotate: 500},
+	}
+	stream := ZipfDriftKeys(23, keys, phases)
+	hotShare := func(seg []uint64, base uint64) float64 {
+		hot := 0
+		for _, k := range seg {
+			if (k+keys-base)%keys < 20 {
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(seg))
+	}
+	p1, p2 := stream[:40000], stream[40000:]
+	// Phase 1's hot set is ranks 0..19; phase 2's is rotated to 500..519.
+	if s := hotShare(p1, 0); s < 0.3 {
+		t.Errorf("phase-1 hot share %.3f too low", s)
+	}
+	if s := hotShare(p2, 500); s < 0.3 {
+		t.Errorf("phase-2 rotated hot share %.3f too low", s)
+	}
+	if s := hotShare(p2, 0); s > 0.1 {
+		t.Errorf("phase-2 still concentrated on old hot set: %.3f", s)
+	}
+}
+
+func TestZipfDriftRampMonotone(t *testing.T) {
+	// A ramp from near-uniform to heavy skew should concentrate mass
+	// progressively: the last quarter far hotter than the first.
+	stream := ZipfDriftKeys(31, 2000, []DriftPhase{{Skew: 0.1, RampTo: 1.3, Requests: 64000}})
+	share := func(seg []uint64) float64 {
+		hot := 0
+		for _, k := range seg {
+			if k < 20 {
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(seg))
+	}
+	first, last := share(stream[:16000]), share(stream[48000:])
+	if last < 3*first {
+		t.Errorf("ramp did not concentrate mass: first-quarter share %.4f, last-quarter %.4f", first, last)
+	}
+}
