@@ -1,0 +1,45 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# commands so local `make check bench` reproduces a green build.
+
+# pipefail so a failing `go test -bench` is not masked by tee.
+SHELL := /bin/bash -o pipefail
+
+GO        ?= go
+# The benchmark families CI measures: the ILP solver scaling pair
+# (gated), plus the Figure 9 and drift end-to-end benchmarks (reported,
+# never gated — see cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift
+BENCHTIME ?= 3x
+COUNT     ?= 6
+BASELINE  ?= BENCH_BASELINE.json
+
+.PHONY: build test race lint check bench bench-baseline bench-gate
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m ./...
+
+lint:
+	golangci-lint run
+
+check: build test race
+
+# bench writes the raw output to bench-new.txt for benchstat/benchgate.
+bench:
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) ./... | tee bench-new.txt
+
+# bench-gate compares bench-new.txt against the checked-in baseline and
+# fails on a >25% geomean regression in the ILP solve benchmarks.
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline $(BASELINE) < bench-new.txt
+
+# bench-baseline re-measures and rewrites the checked-in baseline. Run
+# it on a CI-class runner (see docs/CI.md) so the numbers the gate
+# compares against were produced on comparable hardware.
+bench-baseline:
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write

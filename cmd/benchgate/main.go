@@ -1,0 +1,221 @@
+// Command benchgate is the CI benchmark-regression gate. It parses
+// `go test -bench` output from stdin and either records it as the
+// checked-in baseline or compares it against one:
+//
+//	go test -run=NONE -bench=... -count=6 ./... | benchgate -baseline BENCH_BASELINE.json -write
+//	go test -run=NONE -bench=... -count=6 ./... | benchgate -baseline BENCH_BASELINE.json
+//	benchgate -baseline BENCH_BASELINE.json -text > bench-old.txt   # benchstat-ready dump
+//
+// Comparison computes, per benchmark, the geometric mean of ns/op
+// across the -count repetitions (robust to one noisy rep), then the
+// geometric mean of the new/old ratios across the benchmarks matching
+// -gate. If that exceeds -threshold the gate exits nonzero. Benchmarks
+// outside -gate are reported but never fail the build.
+//
+// Names are normalized by stripping the trailing -N GOMAXPROCS suffix
+// so runs from machines with different core counts compare; the
+// threads=N sub-benchmark dimension is part of the name and survives.
+// See docs/CI.md for how the gate slots into the workflow.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in BENCH_BASELINE.json schema. Lines keeps
+// the raw benchmark output so benchstat can render a human-readable
+// delta against the same data the gate uses.
+type Baseline struct {
+	Note    string             `json:"note"`
+	Lines   []string           `json:"lines"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// gomaxprocsSuffix is the `-8` tail go test appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts (normalized name, ns/op) samples and the raw
+// benchmark lines from go test -bench output.
+func parseBench(r io.Reader) (samples map[string][]float64, lines []string, err error) {
+	samples = make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				ns, err = strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", line, err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		samples[name] = append(samples[name], ns)
+		lines = append(lines, line)
+	}
+	return samples, lines, sc.Err()
+}
+
+// geomean of strictly positive values.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// summarize folds repetition samples into one geomean ns/op per name.
+func summarize(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = geomean(xs)
+	}
+	return out
+}
+
+// compare renders the delta table and returns the geomean ratio over
+// the gated benchmarks plus how many of them matched.
+func compare(w io.Writer, base, fresh map[string]float64, gate *regexp.Regexp) (ratio float64, gated int) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var ratios []float64
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		old := base[name]
+		now, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s\n", name, old, "missing", "-")
+			continue
+		}
+		marker := ""
+		if gate.MatchString(name) {
+			ratios = append(ratios, now/old)
+			marker = " *"
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, old, now, 100*(now/old-1), marker)
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", name, "(new)", fresh[name], "-")
+		}
+	}
+	if len(ratios) == 0 {
+		return math.NaN(), 0
+	}
+	return geomean(ratios), len(ratios)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to write or compare against")
+	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
+	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
+	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve`, "regexp selecting the benchmarks that can fail the gate")
+	flag.Parse()
+
+	if *text {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range base.Lines {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	samples, lines, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("benchgate: no benchmark lines on stdin"))
+	}
+
+	if *write {
+		base := Baseline{
+			Note:    "regenerate with `make bench-baseline` on a CI-class runner; consumed by cmd/benchgate",
+			Lines:   lines,
+			NsPerOp: summarize(samples),
+		}
+		buf, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(base.NsPerOp), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	gate, err := regexp.Compile(*gatePat)
+	if err != nil {
+		fatal(err)
+	}
+	ratio, gated := compare(os.Stdout, base.NsPerOp, summarize(samples), gate)
+	if gated == 0 {
+		fatal(fmt.Errorf("benchgate: no benchmarks matched gate %q", *gatePat))
+	}
+	fmt.Printf("\ngate %q: geomean new/old = %.3f over %d benchmarks (threshold %.2f)\n",
+		*gatePat, ratio, gated, *threshold)
+	if ratio > *threshold {
+		fmt.Printf("FAIL: solver benchmarks regressed by %.1f%% geomean\n", 100*(ratio-1))
+		os.Exit(1)
+	}
+	fmt.Println("ok: within threshold")
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return &base, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: p4all/internal/ilp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkILPSolveSmall/threads=1-4         	       3	   2000000 ns/op	       716.0 bnb-nodes	      2307 simplex-iters
+BenchmarkILPSolveSmall/threads=1-4         	       3	   2200000 ns/op	       716.0 bnb-nodes	      2307 simplex-iters
+BenchmarkILPSolveSmall/threads=4-4         	       3	   1000000 ns/op	       716.0 bnb-nodes	      2307 simplex-iters
+BenchmarkFigure9UnrollBound-4              	     100	     50000 ns/op
+PASS
+ok  	p4all/internal/ilp	0.144s
+`
+
+func TestParseBenchNormalizesAndCollects(t *testing.T) {
+	samples, lines, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d raw lines, want 4", len(lines))
+	}
+	// GOMAXPROCS suffix stripped; threads=N dimension kept.
+	reps, ok := samples["BenchmarkILPSolveSmall/threads=1"]
+	if !ok || len(reps) != 2 {
+		t.Fatalf("threads=1 samples = %v, want 2 reps", reps)
+	}
+	if _, ok := samples["BenchmarkFigure9UnrollBound"]; !ok {
+		t.Fatalf("figure benchmark missing: %v", samples)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %v, want 2", got)
+	}
+	if !math.IsNaN(geomean(nil)) {
+		t.Fatal("geomean of nothing should be NaN")
+	}
+}
+
+func TestCompareGatesOnlyMatchingBenchmarks(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkILPSolveSmall/threads=1": 1000,
+		"BenchmarkILPSolveSmall/threads=4": 1000,
+		"BenchmarkFigure9UnrollBound":      1000,
+	}
+	fresh := map[string]float64{
+		"BenchmarkILPSolveSmall/threads=1": 1100, // +10%
+		"BenchmarkILPSolveSmall/threads=4": 1210, // +21%
+		"BenchmarkFigure9UnrollBound":      9000, // huge, but ungated
+	}
+	gate := regexp.MustCompile(`^BenchmarkILPSolve`)
+	var buf strings.Builder
+	ratio, gated := compare(&buf, base, fresh, gate)
+	if gated != 2 {
+		t.Fatalf("gated = %d, want 2", gated)
+	}
+	want := math.Sqrt(1.1 * 1.21)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("ratio = %v, want %v", ratio, want)
+	}
+	if !strings.Contains(buf.String(), "BenchmarkFigure9UnrollBound") {
+		t.Fatal("ungated benchmark should still appear in the delta table")
+	}
+}
+
+func TestCompareReportsMissingAndNew(t *testing.T) {
+	base := map[string]float64{"BenchmarkILPSolveGone": 1000}
+	fresh := map[string]float64{"BenchmarkILPSolveAdded": 500}
+	var buf strings.Builder
+	ratio, gated := compare(&buf, base, fresh, regexp.MustCompile(`^BenchmarkILPSolve`))
+	if gated != 0 || !math.IsNaN(ratio) {
+		t.Fatalf("expected no gated overlap, got ratio=%v gated=%d", ratio, gated)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "missing") || !strings.Contains(out, "(new)") {
+		t.Fatalf("delta table should flag missing and new rows:\n%s", out)
+	}
+}
+
+func TestRoundTripThroughSummarize(t *testing.T) {
+	samples, _, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := summarize(samples)
+	want := math.Sqrt(2000000 * 2200000)
+	if got := sums["BenchmarkILPSolveSmall/threads=1"]; math.Abs(got-want) > 1 {
+		t.Fatalf("summarized ns/op = %v, want %v", got, want)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"p4all/internal/apps"
 	"p4all/internal/core"
 	"p4all/internal/eval"
+	"p4all/internal/ilp"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
 )
@@ -32,11 +33,14 @@ func main() {
 		requests = flag.Int("requests", 400000, "request count")
 		zipf     = flag.Float64("zipf", 0.95, "request skew")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		threads  = flag.Int("threads", 0, "branch-and-bound workers per solve (0: all cores)")
+		det      = flag.Bool("det", true, "deterministic solver mode — compiled shapes are bit-stable across runs and -threads values")
 		trace    = flag.String("trace", "", "write a JSONL trace of the shape compile and simulation to this file")
 		summary  = flag.Bool("summary", false, "print an observability summary table to stderr")
 		drift    = flag.Bool("drift", false, "run the workload-drift experiment (frozen vs elastic controller)")
 	)
 	flag.Parse()
+	solver := ilp.Options{Threads: *threads, Deterministic: *det}
 
 	tracer, err := obs.FromCLI(*trace, *summary, os.Stderr)
 	if err != nil {
@@ -45,7 +49,7 @@ func main() {
 	}
 
 	if *drift {
-		if err := runDrift(*seed, tracer); err != nil {
+		if err := runDrift(*seed, solver, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "netcachesim:", err)
 			os.Exit(1)
 		}
@@ -58,7 +62,7 @@ func main() {
 	if *rows == 0 || *cols == 0 || *items == 0 {
 		fmt.Fprintln(os.Stderr, "compiling NetCache to obtain structure shapes...")
 		app := apps.NetCache(apps.NetCacheConfig{})
-		res, err := core.Compile(app.Source, pisa.EvalTarget(*mem), core.Options{SkipCodegen: true, Tracer: tracer})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(*mem), core.Options{Solver: solver, SkipCodegen: true, Tracer: tracer})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netcachesim:", err)
 			os.Exit(1)
@@ -104,9 +108,12 @@ func main() {
 
 // runDrift renders the workload-drift experiment as a text table in
 // the style of the p4allbench figures.
-func runDrift(seed int64, tracer *obs.Tracer) error {
+func runDrift(seed int64, solver ilp.Options, tracer *obs.Tracer) error {
 	cfg := eval.DefaultDriftConfig()
 	cfg.Seed = seed
+	cfg.Solver.Threads = solver.Threads
+	// The drift experiment's re-solves stay deterministic regardless of
+	// -det: the elastic controller forces it so replays are exact.
 	res, err := eval.FigureDriftTraced(cfg, tracer)
 	if err != nil {
 		return err

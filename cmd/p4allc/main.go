@@ -35,6 +35,8 @@ func main() {
 		exactFlag   = flag.Bool("exact", false, "prove optimality (no MIP gap; may be slow)")
 		gapFlag     = flag.Float64("gap", 0, "accepted optimality gap (default 0.03)")
 		timeFlag    = flag.Duration("timeout", 0, "solver time limit (default 90s)")
+		threadsFlag = flag.Int("threads", 0, "branch-and-bound workers (0: all cores)")
+		detFlag     = flag.Bool("det", false, "deterministic parallel search (reproducible layouts at some speed cost)")
 		appFlag     = flag.String("app", "", "compile a built-in benchmark app (netcache, sketchlearn, precision, conquest) instead of a source file")
 		traceFlag   = flag.String("trace", "", "write a JSONL pipeline trace to this file (see docs/OBSERVABILITY.md)")
 		summaryFlag = flag.Bool("summary", false, "print an observability summary table to stderr")
@@ -68,6 +70,8 @@ func main() {
 	if *timeFlag > 0 {
 		opts.Solver.TimeLimit = *timeFlag
 	}
+	opts.Solver.Threads = *threadsFlag
+	opts.Solver.Deterministic = *detFlag
 	res, err := core.Compile(src, target, opts)
 	if cerr := tracer.Close(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "p4allc: trace:", cerr)

@@ -37,7 +37,10 @@ type Options struct {
 	// Solver tunes the branch-and-bound search. Zero-valued fields
 	// get compiler defaults: a 3% optimality gap, 4000-node and
 	// 90-second limits (Layout.Stats.Gap records what was certified;
-	// set Solver.Gap negative for exact optimization).
+	// set Solver.Gap negative for exact optimization). Solver.Threads
+	// and Solver.Deterministic pass through untouched: by default the
+	// solve fans out over runtime.GOMAXPROCS(0) workers in free-running
+	// mode (see docs/PARALLEL_SOLVER.md).
 	Solver ilp.Options
 	// SkipCodegen stops after solving (benchmarks that only need the
 	// layout).
@@ -192,7 +195,22 @@ func compileUnit(u *lang.Unit, target pisa.Target, opts Options, root *obs.Span)
 		obs.Int("refactorizations", layout.Stats.Refactors),
 		obs.Float("objective", layout.Objective),
 		obs.Float("gap", layout.Stats.Gap),
+		obs.Int("threads", layout.Stats.Threads),
+		obs.Bool("deterministic", opts.Solver.Deterministic),
 	)
+	// Per-worker effort tallies: one counter pair per branch-and-bound
+	// worker, accumulated across every solve this tracer observes, plus
+	// a per-solve span event recording this solve's split.
+	for i, w := range layout.Stats.Workers {
+		opts.Tracer.Counter(fmt.Sprintf("solver.worker%d.nodes", i)).Add(int64(w.Nodes))
+		opts.Tracer.Counter(fmt.Sprintf("solver.worker%d.simplex_iters", i)).Add(int64(w.SimplexIters))
+		sp.Event("solver.worker",
+			obs.Int("worker", i),
+			obs.Int("nodes", w.Nodes),
+			obs.Int("simplex_iters", w.SimplexIters),
+			obs.Int("refactorizations", w.Refactorizations),
+		)
+	}
 	sp.End()
 	res.Layout = layout
 	res.Phases.Solve = time.Since(start)

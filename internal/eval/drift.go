@@ -47,7 +47,10 @@ func DefaultDriftConfig() DriftConfig {
 			Name: "drift-eval", Stages: 6, MemoryBits: 96 * 1024,
 			StatefulALUs: 4, StatelessALUs: 100, PHVBits: 4096,
 		},
-		Solver: ilp.Options{Gap: 0.05},
+		// Deterministic is redundant with the controller forcing it on
+		// re-solves, but stating it here keeps the experiment's contract
+		// explicit: identical traces in, identical DriftPoints out.
+		Solver: ilp.Options{Gap: 0.05, Deterministic: true},
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"p4all/internal/apps"
 	"p4all/internal/core"
 	"p4all/internal/dep"
+	"p4all/internal/ilp"
 	"p4all/internal/lang"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
@@ -22,6 +23,16 @@ import (
 	"p4all/internal/unroll"
 	"p4all/internal/workload"
 )
+
+// FigureSolver is the solver configuration every figure regeneration
+// compiles with. The package default pins Threads: 1 — the sequential
+// trajectory is reproducible by construction, immune to tie-breaking
+// between equally-optimal layouts on multicore CI runners, and cheap
+// under -race (no goroutines or atomics to instrument), which is what
+// the eval test suite wants. cmd/p4allbench wires its -threads/-det
+// flags here before running figures; its -det flag defaults to true so
+// *published* tables regenerated on any thread count stay bit-stable.
+var FigureSolver = ilp.Options{Threads: 1}
 
 // ---------------------------------------------------------------- Fig 4
 
@@ -125,7 +136,7 @@ func Figure7(memBits int) (*core.Result, error) {
 // Figure7Traced is Figure7 with compile-pipeline tracing.
 func Figure7Traced(memBits int, tr *obs.Tracer) (*core.Result, error) {
 	app := apps.NetCache(apps.NetCacheConfig{})
-	return core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Tracer: tr})
+	return core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Solver: FigureSolver, Tracer: tr})
 }
 
 // ---------------------------------------------------------------- Fig 9
@@ -219,7 +230,7 @@ func Figure11(memBits int) ([]Fig11Row, error) {
 func Figure11Traced(memBits int, tr *obs.Tracer) ([]Fig11Row, error) {
 	var rows []Fig11Row
 	for _, app := range apps.All() {
-		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Tracer: tr})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Solver: FigureSolver, Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -281,7 +292,7 @@ func Figure12Traced(memBits []int, tr *obs.Tracer) ([]Fig12Point, error) {
 	}
 	var out []Fig12Point
 	for _, m := range memBits {
-		res, err := core.CompileUnit(u, pisa.EvalTarget(m), core.Options{SkipCodegen: true, Tracer: tr})
+		res, err := core.CompileUnit(u, pisa.EvalTarget(m), core.Options{Solver: FigureSolver, SkipCodegen: true, Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("M=%d: %w", m, err)
 		}
@@ -337,7 +348,7 @@ func Figure13Traced(memBits int, tr *obs.Tracer) ([]Fig13Row, error) {
 	var out []Fig13Row
 	for _, util := range utilities {
 		app := apps.NetCache(apps.NetCacheConfig{Utility: util, KVFloorItems: kvFloor})
-		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{SkipCodegen: true, Tracer: tr})
+		res, err := core.Compile(app.Source, pisa.EvalTarget(memBits), core.Options{Solver: FigureSolver, SkipCodegen: true, Tracer: tr})
 		if err != nil {
 			return nil, fmt.Errorf("utility %q: %w", util, err)
 		}

@@ -1,0 +1,122 @@
+// Solver benchmarks parameterized over the branch-and-bound worker
+// count. Both pin NodeLimit so every configuration expands the same
+// number of nodes and the measured quantity is pure wall-clock
+// scaling; CI's bench job gates on these (see docs/CI.md).
+//
+// External test package: the NetCache benchmark builds its model
+// through ilpgen/apps, which import ilp.
+package ilp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"p4all/internal/apps"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/pisa"
+	"p4all/internal/unroll"
+)
+
+// benchThreadCounts is the sweep every solver benchmark runs: serial
+// baseline, minimal pool, and the full machine (skipped when it would
+// duplicate an earlier entry).
+func benchThreadCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// benchKnapsack builds a correlated 0/1 knapsack — weights tightly
+// coupled to profits, the classic branch-and-bound stress shape (LP
+// bounds stay nearly flat, so pruning is weak and the tree is wide).
+func benchKnapsack(n int, seed int64) *ilp.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := ilp.NewModel(fmt.Sprintf("bench-knapsack-%d", n))
+	obj, weight := ilp.NewExpr(), ilp.NewExpr()
+	var total float64
+	for i := 0; i < n; i++ {
+		w := 8 + rng.Float64()*12
+		p := w + rng.Float64()*2 // profit ≈ weight: weak LP pruning
+		v := m.AddBinary(fmt.Sprintf("x%d", i))
+		obj.Add(v, p)
+		weight.Add(v, w)
+		total += w
+	}
+	m.AddConstr("cap", weight, ilp.LE, total/2)
+	m.SetObjective(obj, ilp.Maximize)
+	return m
+}
+
+// BenchmarkILPSolveSmall solves a 26-item correlated knapsack with a
+// fixed 4000-node budget per op. Node LPs take microseconds here, so
+// this benchmark is dominated by search bookkeeping — it measures the
+// parallel drivers' coordination overhead more than their speedup.
+func BenchmarkILPSolveSmall(b *testing.B) {
+	model := benchKnapsack(26, 7)
+	for _, tc := range benchThreadCounts() {
+		b.Run(fmt.Sprintf("threads=%d", tc), func(b *testing.B) {
+			var nodes, iters int
+			for i := 0; i < b.N; i++ {
+				sol, err := ilp.Solve(model, ilp.Options{
+					NodeLimit:        4000,
+					Threads:          tc,
+					DisableHeuristic: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes, iters = sol.Nodes, sol.SimplexIters
+			}
+			b.ReportMetric(float64(nodes), "bnb-nodes")
+			b.ReportMetric(float64(iters), "simplex-iters")
+		})
+	}
+}
+
+// BenchmarkILPSolveNetCache solves the real NetCache placement ILP
+// (the paper's Figure 10 model on the 1.75 Mb/stage evaluation
+// target; ~455 vars, ~616 constraints) with a fixed node budget. Node
+// LPs here run tens of milliseconds, so wall time scales with how
+// many of those LPs run concurrently — this is the benchmark the CI
+// gate and the ≥1.8x-at-4-threads acceptance target watch.
+func BenchmarkILPSolveNetCache(b *testing.B) {
+	app := apps.NetCache(apps.NetCacheConfig{})
+	u, err := lang.ParseAndResolve(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := pisa.EvalTarget(7 * pisa.Mb / 4)
+	bounds, err := unroll.UpperBounds(u, &target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ilpgen.Generate(u, &target, bounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range benchThreadCounts() {
+		b.Run(fmt.Sprintf("threads=%d", tc), func(b *testing.B) {
+			var nodes, iters int
+			for i := 0; i < b.N; i++ {
+				sol, err := ilp.Solve(prog.Model, ilp.Options{
+					NodeLimit:        24,
+					IterLimit:        200000,
+					Threads:          tc,
+					DisableHeuristic: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes, iters = sol.Nodes, sol.SimplexIters
+			}
+			b.ReportMetric(float64(nodes), "bnb-nodes")
+			b.ReportMetric(float64(iters), "simplex-iters")
+		})
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +24,23 @@ type Options struct {
 	// Gap is the relative optimality gap at which the search may stop
 	// early (0 means prove optimality to tolerance).
 	Gap float64
+	// Threads is the number of branch-and-bound workers pulling from
+	// the shared open-node queue (0 means runtime.GOMAXPROCS(0);
+	// 1 runs the single-threaded search). Each worker owns a private
+	// simplex workspace; only the queue, the incumbent, and the
+	// progress hook are shared. See docs/PARALLEL_SOLVER.md.
+	Threads int
+	// Deterministic runs the multi-threaded search in synchronous
+	// rounds: each round the workers process one batch of open nodes
+	// concurrently, pruning against the incumbent frozen at the round
+	// start, and their results are merged at the round barrier in
+	// node-ID order. The solve is then bit-reproducible for a fixed
+	// (model, Options) pair — at some loss of pruning freshness.
+	// Single-threaded solves are inherently deterministic and ignore
+	// this flag. Time limits are only checked at round barriers, so a
+	// deterministic solve should prefer NodeLimit (a wall-clock stop
+	// is honored but makes the incumbent timing-dependent).
+	Deterministic bool
 	// DisableHeuristic skips the initial rounding dive used to seed an
 	// incumbent (used by ablation benchmarks).
 	DisableHeuristic bool
@@ -38,7 +58,9 @@ type Options struct {
 	// Progress, when non-nil, receives search snapshots: the root
 	// relaxation, every incumbent improvement, a heartbeat every
 	// ProgressEvery nodes, and the terminal state. A nil hook costs
-	// nothing on the solve path.
+	// nothing on the solve path. In multi-threaded solves the hook is
+	// called from worker goroutines under the search lock (never
+	// concurrently); it must not call back into the solver.
 	Progress func(Progress)
 	// ProgressEvery is the node interval between heartbeat callbacks
 	// (0 means the default of 256).
@@ -74,6 +96,18 @@ func (k ProgressKind) String() string {
 	}
 }
 
+// WorkerCounts tallies one branch-and-bound worker's share of the
+// search effort.
+type WorkerCounts struct {
+	// Nodes is the number of subproblems this worker processed.
+	Nodes int
+	// SimplexIters is the simplex iteration count across this worker's
+	// LP solves.
+	SimplexIters int
+	// Refactorizations is this worker's basis refactorization count.
+	Refactorizations int
+}
+
 // Progress is one snapshot of the branch-and-bound search, delivered
 // to Options.Progress. Objectives and bounds are reported in the
 // model's own sense.
@@ -97,6 +131,10 @@ type Progress struct {
 	Gap float64
 	// Elapsed is the wall time since the solve started.
 	Elapsed time.Duration
+	// Workers carries per-worker node/simplex tallies. It is populated
+	// only by multi-threaded solves (single-threaded searches report
+	// the totals above and leave it nil).
+	Workers []WorkerCounts
 }
 
 const (
@@ -104,10 +142,14 @@ const (
 	defaultIterLimit     = 50000
 	defaultProgressEvery = 256
 	intTol               = 1e-6
+	// plungeLimit bounds the depth-first chain followed from each
+	// popped node before returning to the shared best-first queue.
+	plungeLimit = 256
 )
 
 // node is one branch-and-bound subproblem.
 type node struct {
+	id     int64 // queue insertion order; breaks bound ties deterministically
 	lo, hi []float64
 	bound  float64 // LP relaxation objective (min sense)
 	depth  int
@@ -116,8 +158,13 @@ type node struct {
 
 type nodeQueue []*node
 
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].id < q[j].id
+}
 func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
 func (q *nodeQueue) Pop() interface{} {
@@ -129,26 +176,99 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
+// workerTally is one worker's effort counters. Workers update their
+// own tally with atomic adds; snapshot readers (progress emission, the
+// final Solution) sum across workers. The struct is padded to a cache
+// line so adjacent workers do not false-share.
+type workerTally struct {
+	nodes     atomic.Int64
+	iters     atomic.Int64
+	refactors atomic.Int64
+	_         [5]int64
+}
+
+func (t *workerTally) addCounts(c lpCounts) {
+	t.iters.Add(int64(c.iters))
+	t.refactors.Add(int64(c.refactors))
+}
+
+// bb is the shared state of one Solve invocation. The single-threaded
+// driver uses its fields directly; the parallel drivers guard the open
+// queue, the incumbent, termination accounting, and progress emission
+// with mu (see parallel.go).
+type bb struct {
+	sf            *standardForm
+	opts          Options
+	threads       int
+	nodeLimit     int
+	iterLimit     int
+	progressEvery int
+	deadline      time.Time
+	sign          float64
+	solveStart    time.Time
+	rootMin       float64 // root relaxation in minimization sense
+	rootBound     float64 // root relaxation in model sense
+	warmUsed      bool
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       nodeQueue
+	nextID      int64
+	bestObj     float64 // incumbent objective, minimization sense
+	bestX       []float64
+	bestBits    atomic.Uint64 // Float64bits(bestObj): lock-free pruning reads
+	nodesDone   atomic.Int64
+	lastBeat    int64 // heartbeat high-water mark (deterministic rounds)
+	tallies     []workerTally
+	activeBound []float64 // per-worker bound of the node being plunged (+Inf when idle)
+	nActive     int
+	stopped     atomic.Bool
+	halted      bool   // a limit/gap stop fired; finalStatus holds why
+	finalStatus Status // terminal status once halted
+	err         error
+}
+
 // Solve optimizes the model. Pure LPs (no integer variables) are solved
 // with a single simplex run; otherwise branch and bound proves integer
-// optimality. The returned Solution reports values and objective in the
-// model's own sense.
+// optimality, fanned out over Options.Threads workers. The returned
+// Solution reports values and objective in the model's own sense.
 func Solve(m *Model, opts Options) (*Solution, error) {
 	sf, err := lowerModel(m)
 	if err != nil {
 		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr // trivially infeasible is a result, not a failure
 	}
-	nodeLimit := opts.NodeLimit
-	if nodeLimit == 0 {
-		nodeLimit = defaultNodeLimit
+	b := &bb{sf: sf, opts: opts, sign: 1, bestObj: math.Inf(1)}
+	b.cond = sync.NewCond(&b.mu)
+	b.bestBits.Store(math.Float64bits(b.bestObj))
+	if m.sense == Maximize {
+		b.sign = -1
 	}
-	iterLimit := opts.IterLimit
-	if iterLimit == 0 {
-		iterLimit = defaultIterLimit
+	b.nodeLimit = opts.NodeLimit
+	if b.nodeLimit == 0 {
+		b.nodeLimit = defaultNodeLimit
 	}
-	deadline := time.Time{}
+	b.iterLimit = opts.IterLimit
+	if b.iterLimit == 0 {
+		b.iterLimit = defaultIterLimit
+	}
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		b.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	b.progressEvery = opts.ProgressEvery
+	if b.progressEvery <= 0 {
+		b.progressEvery = defaultProgressEvery
+	}
+	b.threads = opts.Threads
+	if b.threads <= 0 {
+		b.threads = runtime.GOMAXPROCS(0)
+	}
+	b.tallies = make([]workerTally, b.threads)
+	b.activeBound = make([]float64, b.threads)
+	for i := range b.activeBound {
+		b.activeBound[i] = math.Inf(1)
+	}
+	if opts.Progress != nil {
+		b.solveStart = time.Now()
 	}
 
 	hasInt := false
@@ -167,118 +287,43 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		}
 		startX, startObj = projectStart(sf, opts.Start)
 	}
-	warmUsed := false
 
-	total := lpCounts{}
-	sign := 1.0
-	if m.sense == Maximize {
-		sign = -1
-	}
-	progressEvery := opts.ProgressEvery
-	if progressEvery <= 0 {
-		progressEvery = defaultProgressEvery
-	}
-	var solveStart time.Time
-	if opts.Progress != nil {
-		solveStart = time.Now()
-	}
-	var rootBound float64
-	var rootMin float64 // root relaxation in minimization sense
-	var queue *nodeQueue
-	// boundMin returns the tightest proven min-sense bound given the
-	// best incumbent (math.Inf(1) when none): the best open node if any
-	// remain, else the incumbent itself (search exhausted).
-	boundMin := func(bestObj float64) float64 {
-		if queue != nil && queue.Len() > 0 {
-			return (*queue)[0].bound
-		}
-		if !math.IsInf(bestObj, 1) {
-			return bestObj
-		}
-		return rootMin
-	}
-	// emit delivers one Progress snapshot; a nil hook makes it free.
-	emit := func(kind ProgressKind, nodes int, bestObj float64, hasInc bool) {
-		if opts.Progress == nil {
-			return
-		}
-		p := Progress{
-			Kind:             kind,
-			Nodes:            nodes,
-			SimplexIters:     total.iters,
-			Refactorizations: total.refactors,
-			Gap:              math.Inf(1),
-			Elapsed:          time.Since(solveStart),
-		}
-		bm := boundMin(bestObj)
-		p.BestBound = sign * (bm + sf.objK)
-		if hasInc {
-			p.HasIncumbent = true
-			p.Incumbent = sign * (bestObj + sf.objK)
-			p.Gap = relGap(bestObj, bm)
-		}
-		opts.Progress(p)
-	}
-	finish := func(status Status, objMin float64, x []float64, nodes int) *Solution {
-		sol := &Solution{Status: status, Nodes: nodes, SimplexIters: total.iters, Refactorizations: total.refactors, RootBound: rootBound, WarmStarted: warmUsed}
-		if x != nil {
-			sol.Values = x
-			// lowerModel folded the sense into cost and objK, so the
-			// model-sense objective is sign*(objMin + objK).
-			sol.Objective = sign * (objMin + sf.objK)
-			sol.BestBound = sol.Objective
-			if status != StatusOptimal && queue != nil && queue.Len() > 0 {
-				// The open node with the best bound limits how much
-				// better any undiscovered solution could be.
-				sol.BestBound = sign * ((*queue)[0].bound + sf.objK)
-			} else if status == StatusOptimal && opts.Gap > 0 && queue != nil && queue.Len() > 0 {
-				sol.BestBound = sign * ((*queue)[0].bound + sf.objK)
-			}
-		}
-		em := math.Inf(1)
-		if x != nil {
-			em = objMin
-		}
-		emit(ProgressDone, nodes, em, x != nil)
-		return sol
-	}
-
+	// The root relaxation, the warm-start installation, and the diving
+	// heuristic run single-threaded before the tree search fans out;
+	// worker 0's workspace is seeded here.
+	ws := newWorkspace(sf)
 	lo, hi := sf.cloneBounds()
-	st, obj, x, counts, err := solveLP(sf, lo, hi, iterLimit, nil)
-	total.iters += counts.iters
-	total.refactors += counts.refactors
+	st, obj, x, counts, err := solveLP(sf, lo, hi, b.iterLimit, nil, ws)
+	b.tallies[0].addCounts(counts)
+	b.nodesDone.Store(1)
+	b.tallies[0].nodes.Store(1)
 	if err != nil {
 		return nil, err
 	}
-	rootBound = sign * (obj + sf.objK)
-	rootMin = obj
+	b.rootBound = b.sign * (obj + sf.objK)
+	b.rootMin = obj
 	switch st {
 	case lpInfeasible:
-		return finish(StatusInfeasible, 0, nil, 1), nil
+		return b.solution(StatusInfeasible), nil
 	case lpUnbounded:
-		return finish(StatusUnbounded, 0, nil, 1), nil
+		return b.solution(StatusUnbounded), nil
 	}
 	if !hasInt || integral(sf, x) {
-		return finish(StatusOptimal, obj, x, 1), nil
+		b.install(obj, x)
+		return b.solution(StatusOptimal), nil
 	}
-	emit(ProgressRoot, 1, obj, false)
+	b.emitLocked(ProgressRoot)
 
-	// Branch and bound.
-	var (
-		bestObj = math.Inf(1)
-		bestX   []float64
-		nodes   = 1
-	)
 	if startX != nil {
 		// The projected MIP start is feasible: install it as the root
 		// incumbent. When it is already within the requested gap of the
 		// root bound the search stops here — the warm re-solve of a
 		// lightly perturbed model costs one LP.
-		bestObj, bestX = startObj, startX
-		warmUsed = true
-		emit(ProgressIncumbent, nodes, bestObj, true)
-		if bestObj <= rootMin+1e-9 || (opts.Gap > 0 && relGap(bestObj, rootMin) <= opts.Gap) {
-			return finish(StatusOptimal, bestObj, bestX, nodes), nil
+		b.install(startObj, startX)
+		b.warmUsed = true
+		b.emitLocked(ProgressIncumbent)
+		if b.gapSatisfiedAtRoot() {
+			return b.solution(StatusOptimal), nil
 		}
 	}
 	diveImproved := false
@@ -287,88 +332,271 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		// differently-weighted objective seeds pruning but is often far
 		// from this objective's optimum, and the dive closes that gap
 		// cheaply. The incumbent keeps whichever is better.
-		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, iterLimit, &total); ok && hobj < bestObj {
-			bestObj, bestX = hobj, hx
+		var total lpCounts
+		if hx, hobj, ok := diveHeuristic(sf, lo, hi, x, b.iterLimit, &total, ws); ok && hobj < b.bestObj {
+			b.install(hobj, hx)
 			diveImproved = true
 		}
+		b.tallies[0].addCounts(total)
 	}
-	queue = &nodeQueue{}
-	heap.Init(queue)
-	heap.Push(queue, &node{lo: lo, hi: hi, bound: obj, depth: 0})
-	if bestX != nil {
-		if diveImproved || !warmUsed {
+	heap.Push(&b.queue, &node{id: b.nextID, lo: lo, hi: hi, bound: obj, depth: 0, hint: x})
+	b.nextID++
+	if b.bestX != nil {
+		if diveImproved || !b.warmUsed {
 			// The dive seeded (or improved) the incumbent.
-			emit(ProgressIncumbent, nodes, bestObj, true)
+			b.emitLocked(ProgressIncumbent)
 		}
 		// An incumbent already at the root bound (or within the
 		// requested gap of it) cannot be improved enough to matter:
-		// stop before opening the tree.
-		if bestObj <= rootMin+1e-9 || (opts.Gap > 0 && relGap(bestObj, rootMin) <= opts.Gap) {
-			return finish(StatusOptimal, bestObj, bestX, nodes), nil
+		// stop before opening the tree. The root node stays queued so
+		// the reported BestBound remains the honest root bound.
+		if b.gapSatisfiedAtRoot() {
+			return b.solution(StatusOptimal), nil
 		}
 	}
 
-	// Best-first over the open queue with depth-first plunging inside
-	// each popped node: following one child chain all the way down
-	// finds integer incumbents orders of magnitude faster than pure
-	// best-first on placement models.
-	const plungeLimit = 256
-	for queue.Len() > 0 {
-		nd := heap.Pop(queue).(*node)
-		if nd.bound >= bestObj-1e-9 {
+	switch {
+	case opts.Deterministic:
+		// Deterministic mode always takes the rounds driver — even at
+		// Threads: 1 — so the search trajectory is a function of the
+		// model alone and a deterministic solve returns bit-identical
+		// results at every thread count.
+		return b.searchRounds(ws)
+	case b.threads == 1:
+		return b.searchSeq(ws)
+	default:
+		return b.searchFree(ws)
+	}
+}
+
+// install records a new incumbent (no improvement check — callers
+// compare first) and publishes it for lock-free pruning reads.
+func (b *bb) install(obj float64, x []float64) {
+	b.bestObj, b.bestX = obj, x
+	b.bestBits.Store(math.Float64bits(obj))
+}
+
+// gapSatisfiedAtRoot reports whether the incumbent is already at the
+// root bound or within the requested gap of it.
+func (b *bb) gapSatisfiedAtRoot() bool {
+	return b.bestObj <= b.rootMin+1e-9 ||
+		(b.opts.Gap > 0 && relGap(b.bestObj, b.rootMin) <= b.opts.Gap)
+}
+
+// totals sums the per-worker tallies.
+func (b *bb) totals() (iters, refactors int) {
+	for i := range b.tallies {
+		iters += int(b.tallies[i].iters.Load())
+		refactors += int(b.tallies[i].refactors.Load())
+	}
+	return iters, refactors
+}
+
+// workerSnapshot copies the per-worker tallies.
+func (b *bb) workerSnapshot() []WorkerCounts {
+	ws := make([]WorkerCounts, len(b.tallies))
+	for i := range b.tallies {
+		ws[i] = WorkerCounts{
+			Nodes:            int(b.tallies[i].nodes.Load()),
+			SimplexIters:     int(b.tallies[i].iters.Load()),
+			Refactorizations: int(b.tallies[i].refactors.Load()),
+		}
+	}
+	return ws
+}
+
+// boundMinLocked returns the tightest proven min-sense bound on the
+// optimum: the best bound among open and in-flight nodes, clamped at
+// the incumbent (an exhausted or fully dominated search proves the
+// incumbent optimal). Callers in parallel modes hold mu.
+func (b *bb) boundMinLocked() float64 {
+	bound := math.Inf(1)
+	if len(b.queue) > 0 {
+		bound = b.queue[0].bound
+	}
+	// A worker mid-plunge may still open children anywhere above the
+	// bound of the node it popped; gap certification must account for
+	// those in-flight subtrees.
+	for _, ab := range b.activeBound {
+		if ab < bound {
+			bound = ab
+		}
+	}
+	if b.bestX != nil {
+		if bound > b.bestObj {
+			bound = b.bestObj
+		}
+		return bound
+	}
+	if !math.IsInf(bound, 1) {
+		return bound
+	}
+	return b.rootMin
+}
+
+// emitLocked delivers one Progress snapshot; a nil hook makes it free.
+// Parallel callers hold mu so emissions are serialized.
+func (b *bb) emitLocked(kind ProgressKind) {
+	if b.opts.Progress == nil {
+		return
+	}
+	iters, refactors := b.totals()
+	p := Progress{
+		Kind:             kind,
+		Nodes:            int(b.nodesDone.Load()),
+		SimplexIters:     iters,
+		Refactorizations: refactors,
+		Gap:              math.Inf(1),
+		Elapsed:          time.Since(b.solveStart),
+	}
+	bm := b.boundMinLocked()
+	p.BestBound = b.sign * (bm + b.sf.objK)
+	if b.bestX != nil {
+		p.HasIncumbent = true
+		p.Incumbent = b.sign * (b.bestObj + b.sf.objK)
+		p.Gap = relGap(b.bestObj, bm)
+	}
+	if b.threads > 1 {
+		p.Workers = b.workerSnapshot()
+	}
+	b.opts.Progress(p)
+}
+
+// solution assembles the terminal Solution and emits the done snapshot.
+// Parallel drivers call it with mu held (via solutionLocked) or after
+// all workers have exited.
+func (b *bb) solution(status Status) *Solution {
+	iters, refactors := b.totals()
+	sol := &Solution{
+		Status:           status,
+		Nodes:            int(b.nodesDone.Load()),
+		SimplexIters:     iters,
+		Refactorizations: refactors,
+		RootBound:        b.rootBound,
+		WarmStarted:      b.warmUsed,
+		Threads:          b.threads,
+		Workers:          b.workerSnapshot(),
+	}
+	if b.bestX != nil {
+		sol.Values = b.bestX
+		// lowerModel folded the sense into cost and objK, so the
+		// model-sense objective is sign*(objMin + objK).
+		sol.Objective = b.sign * (b.bestObj + b.sf.objK)
+		sol.BestBound = sol.Objective
+		if len(b.queue) > 0 && (status != StatusOptimal || b.opts.Gap > 0) {
+			// The open node with the best bound limits how much better
+			// any undiscovered solution could be.
+			sol.BestBound = b.sign * (b.boundMinLocked() + b.sf.objK)
+		}
+	}
+	b.emitLocked(ProgressDone)
+	return sol
+}
+
+// stepOut classifies the expansion of one subproblem.
+type stepOut struct {
+	pruned   bool // LP infeasible or dominated by the cutoff: chain ends
+	integral bool // x is integer feasible with objective obj
+	obj      float64
+	x        []float64
+	follow   *node // child the LP leans toward (plunge into it)
+	deferred *node // other child, destined for the open queue
+}
+
+// step solves one node's LP against the given pruning cutoff and
+// either ends the chain (pruned/integral) or branches. It touches no
+// shared search state beyond the (atomic) tally.
+func (b *bb) step(cur *node, cutoff float64, ws *lpWorkspace, tally *workerTally) (stepOut, error) {
+	st, obj, x, counts, err := solveLP(b.sf, cur.lo, cur.hi, b.iterLimit, cur.hint, ws)
+	tally.addCounts(counts)
+	if err != nil {
+		return stepOut{}, err
+	}
+	if st != lpOptimal || obj >= cutoff-1e-9 {
+		return stepOut{pruned: true}, nil // infeasible or dominated subtree
+	}
+	if integral(b.sf, x) {
+		return stepOut{integral: true, obj: obj, x: x}, nil
+	}
+	j := fractionalVar(b.sf, x)
+	if j < 0 {
+		return stepOut{pruned: true}, nil
+	}
+	floor := math.Floor(x[j])
+	frac := x[j] - floor
+	down := child(cur, j, cur.lo[j], math.Min(cur.hi[j], floor), obj, x)
+	up := child(cur, j, math.Max(cur.lo[j], floor+1), cur.hi[j], obj, x)
+	out := stepOut{obj: obj, x: x, follow: down, deferred: up}
+	if frac > 0.5 {
+		// Follow the side the LP leans toward; queue the other.
+		out.follow, out.deferred = up, down
+	}
+	return out, nil
+}
+
+// pushLocked assigns the node its queue ID and inserts it. Parallel
+// callers hold mu.
+func (b *bb) pushLocked(nd *node) {
+	nd.id = b.nextID
+	b.nextID++
+	heap.Push(&b.queue, nd)
+}
+
+// searchSeq is the single-threaded driver: best-first over the open
+// queue with depth-first plunging inside each popped node — following
+// one child chain all the way down finds integer incumbents orders of
+// magnitude faster than pure best-first on placement models.
+func (b *bb) searchSeq(ws *lpWorkspace) (*Solution, error) {
+	tally := &b.tallies[0]
+	for len(b.queue) > 0 {
+		nd := heap.Pop(&b.queue).(*node)
+		if nd.bound >= b.bestObj-1e-9 {
 			continue // pruned by incumbent
 		}
 		cur := nd
 		for steps := 0; cur != nil && steps < plungeLimit; steps++ {
-			if nodes >= nodeLimit || (!deadline.IsZero() && time.Now().After(deadline)) {
-				return finish(StatusLimit, bestObj, bestX, nodes), nil
+			n := b.nodesDone.Load()
+			if int(n) >= b.nodeLimit || (!b.deadline.IsZero() && time.Now().After(b.deadline)) {
+				return b.solution(StatusLimit), nil
 			}
-			nodes++
-			if opts.Progress != nil && nodes%progressEvery == 0 {
-				emit(ProgressNode, nodes, bestObj, bestX != nil)
+			b.nodesDone.Store(n + 1)
+			tally.nodes.Add(1)
+			if b.opts.Progress != nil && (n+1)%int64(b.progressEvery) == 0 {
+				b.emitLocked(ProgressNode)
 			}
-			st, obj, x, counts, err := solveLP(sf, cur.lo, cur.hi, iterLimit, cur.hint)
-			total.iters += counts.iters
-			total.refactors += counts.refactors
+			out, err := b.step(cur, b.bestObj, ws, tally)
 			if err != nil {
 				return nil, err
 			}
-			if st != lpOptimal || obj >= bestObj-1e-9 {
-				break // infeasible or dominated subtree
-			}
-			if integral(sf, x) {
-				bestObj, bestX = obj, x
-				emit(ProgressIncumbent, nodes, bestObj, true)
+			if out.pruned {
+				cur = nil
 				break
 			}
-			j := fractionalVar(sf, x)
-			if j < 0 {
+			if out.integral {
+				b.install(out.obj, out.x)
+				b.emitLocked(ProgressIncumbent)
+				cur = nil
 				break
 			}
-			floor := math.Floor(x[j])
-			frac := x[j] - floor
-			down := child(cur, j, cur.lo[j], math.Min(cur.hi[j], floor), obj, x)
-			up := child(cur, j, math.Max(cur.lo[j], floor+1), cur.hi[j], obj, x)
-			// Follow the side the LP leans toward; queue the other.
-			follow, defer_ := down, up
-			if frac > 0.5 {
-				follow, defer_ = up, down
+			if out.deferred != nil {
+				b.pushLocked(out.deferred)
 			}
-			if defer_ != nil {
-				heap.Push(queue, defer_)
-			}
-			cur = follow
+			cur = out.follow
 		}
-		if opts.Gap > 0 && bestX != nil && queue.Len() > 0 {
-			if relGap(bestObj, (*queue)[0].bound) <= opts.Gap {
-				return finish(StatusOptimal, bestObj, bestX, nodes), nil
+		if cur != nil {
+			// Chain cut by the plunge cap: requeue the unexpanded node.
+			b.pushLocked(cur)
+		}
+		if b.opts.Gap > 0 && b.bestX != nil && len(b.queue) > 0 {
+			if relGap(b.bestObj, b.queue[0].bound) <= b.opts.Gap {
+				return b.solution(StatusOptimal), nil
 			}
 		}
 	}
-	if bestX == nil {
-		return finish(StatusInfeasible, 0, nil, nodes), nil
+	if b.bestX == nil {
+		return b.solution(StatusInfeasible), nil
 	}
-	return finish(StatusOptimal, bestObj, bestX, nodes), nil
+	return b.solution(StatusOptimal), nil
 }
 
 // projectStart maps a caller-supplied MIP start onto the lowered
@@ -474,7 +702,7 @@ func child(parent *node, j int, newLo, newHi, bound float64, hint []float64) *no
 // diveHeuristic repeatedly fixes the least-fractional integer variable
 // to its rounded value and re-solves, hoping to land on an integer
 // feasible incumbent quickly.
-func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total *lpCounts) ([]float64, float64, bool) {
+func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total *lpCounts, ws *lpWorkspace) ([]float64, float64, bool) {
 	lo = append([]float64(nil), lo...)
 	hi = append([]float64(nil), hi...)
 	x := x0
@@ -508,7 +736,7 @@ func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total 
 		r := math.Round(x[bestJ])
 		r = math.Min(math.Max(r, lo[bestJ]), hi[bestJ])
 		lo[bestJ], hi[bestJ] = r, r
-		st, _, nx, counts, err := solveLP(sf, lo, hi, iterLimit, x)
+		st, _, nx, counts, err := solveLP(sf, lo, hi, iterLimit, x, ws)
 		total.iters += counts.iters
 		total.refactors += counts.refactors
 		if err != nil || st != lpOptimal {
@@ -567,7 +795,7 @@ func SolveRootLP(m *Model) (*Solution, error) {
 		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr
 	}
 	lo, hi := sf.cloneBounds()
-	st, obj, x, counts, err := solveLP(sf, lo, hi, defaultIterLimit, nil)
+	st, obj, x, counts, err := solveLP(sf, lo, hi, defaultIterLimit, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -276,6 +276,13 @@ type Solution struct {
 	// WarmStarted reports that Options.Start projected to a feasible
 	// point and was installed as the root incumbent.
 	WarmStarted bool
+	// Threads is the number of branch-and-bound workers the solve ran
+	// with (after resolving Options.Threads defaults).
+	Threads int
+	// Workers holds per-worker effort tallies, one entry per thread.
+	// Worker 0 additionally accounts the root relaxation and the
+	// diving heuristic.
+	Workers []WorkerCounts
 }
 
 // AchievedGap returns |Objective - BestBound| / max(1, |Objective|),

@@ -1,0 +1,381 @@
+package ilp
+
+// Parallel branch and bound. Two drivers share the sequential search's
+// node-expansion step (bb.step):
+//
+//   - searchFree: an asynchronous worker pool. Workers pop from the
+//     shared best-first queue under bb.mu, plunge depth-first against
+//     the freshest incumbent (read lock-free from bb.bestBits), and
+//     push deferred children back as they go. Termination: the queue is
+//     empty AND no worker is mid-plunge. Gap certification folds the
+//     bounds of in-flight nodes (bb.activeBound) into the proven bound,
+//     since a worker mid-plunge can still open children anywhere above
+//     the bound of the node it popped.
+//
+//   - searchRounds (Options.Deterministic): synchronous rounds. Each
+//     round pops up to detBatch nodes in (bound, id) order, plunges
+//     them concurrently against the incumbent frozen at the round
+//     start, and merges the per-chain results at the barrier in batch
+//     order — incumbents, children, and node accounting land in an
+//     order that depends only on the model, never on goroutine timing.
+//     The batch size is a fixed constant, NOT Threads: the thread
+//     count then only decides how the batch's chains are distributed
+//     over workers, so a deterministic solve is bit-identical at every
+//     thread count, not merely across runs at one thread count.
+//
+// See docs/PARALLEL_SOLVER.md for the full architecture and the
+// termination/gap soundness argument.
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"time"
+)
+
+// halt requests search termination with the given terminal status. The
+// first caller wins; later calls (e.g. a second worker hitting the node
+// limit) are no-ops.
+func (b *bb) halt(status Status) {
+	b.mu.Lock()
+	b.haltLocked(status)
+	b.mu.Unlock()
+}
+
+func (b *bb) haltLocked(status Status) {
+	if b.stopped.Load() {
+		return
+	}
+	b.finalStatus = status
+	b.halted = true
+	b.stopped.Store(true)
+	b.cond.Broadcast()
+}
+
+// publish offers an integer-feasible point as the new incumbent. The
+// worker found it against a possibly stale cutoff, so the strict
+// improvement check is repeated under the lock.
+func (b *bb) publish(obj float64, x []float64) {
+	b.mu.Lock()
+	if obj < b.bestObj-1e-9 {
+		b.install(obj, x)
+		b.emitLocked(ProgressIncumbent)
+	}
+	b.mu.Unlock()
+}
+
+// searchFree runs the asynchronous worker pool until the tree is
+// exhausted or a limit/gap stop fires.
+func (b *bb) searchFree(ws0 *lpWorkspace) (*Solution, error) {
+	var wg sync.WaitGroup
+	for w := 0; w < b.threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ws := ws0
+			if id != 0 {
+				ws = newWorkspace(b.sf)
+			}
+			b.freeWorker(id, ws)
+		}(w)
+	}
+	wg.Wait()
+	// Single-threaded from here: every worker has exited and its
+	// in-flight node (if any) was pushed back onto the queue.
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.halted {
+		return b.solution(b.finalStatus), nil
+	}
+	if b.bestX == nil {
+		return b.solution(StatusInfeasible), nil
+	}
+	return b.solution(StatusOptimal), nil
+}
+
+// freeWorker is one pool member: pop, plunge, account, repeat.
+func (b *bb) freeWorker(id int, ws *lpWorkspace) {
+	tally := &b.tallies[id]
+	b.mu.Lock()
+	for {
+		for len(b.queue) == 0 && b.nActive > 0 && !b.stopped.Load() {
+			b.cond.Wait()
+		}
+		if b.stopped.Load() || (len(b.queue) == 0 && b.nActive == 0) {
+			// Wake the other waiters on the way out: this worker may be
+			// the first to observe exhaustion (e.g. after pruning the
+			// last queued node without ever going active), and the
+			// waiters' predicate is now false for them too.
+			b.cond.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		nd := heap.Pop(&b.queue).(*node)
+		if nd.bound >= b.bestObj-1e-9 {
+			continue // pruned by the incumbent
+		}
+		// While this worker plunges, its subtree's bound must stay
+		// visible to gap certification and to the idle workers' exit
+		// check (children may be pushed mid-plunge).
+		b.activeBound[id] = nd.bound
+		b.nActive++
+		b.mu.Unlock()
+
+		err := b.plungeFree(nd, ws, tally)
+
+		b.mu.Lock()
+		b.activeBound[id] = math.Inf(1)
+		b.nActive--
+		if err != nil && b.err == nil {
+			b.err = err
+			b.stopped.Store(true)
+			b.cond.Broadcast()
+		}
+		if b.nActive == 0 && len(b.queue) == 0 {
+			// Tree exhausted: wake the waiters so they observe it.
+			b.cond.Broadcast()
+		}
+		if !b.stopped.Load() && b.opts.Gap > 0 && b.bestX != nil &&
+			relGap(b.bestObj, b.boundMinLocked()) <= b.opts.Gap {
+			b.haltLocked(StatusOptimal)
+		}
+	}
+}
+
+// plungeFree follows one depth-first chain. On any early stop the
+// unexpanded chain node is pushed back so the queue keeps a sound
+// bound for the abandoned subtree.
+func (b *bb) plungeFree(nd *node, ws *lpWorkspace, tally *workerTally) error {
+	cur := nd
+	for steps := 0; cur != nil && steps < plungeLimit; steps++ {
+		if b.stopped.Load() {
+			break
+		}
+		if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+			b.halt(StatusLimit)
+			break
+		}
+		// Reserve the node slot before expanding; roll the reservation
+		// back if it overshoots so Solution.Nodes never exceeds the
+		// limit no matter how many workers race here.
+		n := b.nodesDone.Add(1)
+		if int(n) > b.nodeLimit {
+			b.nodesDone.Add(-1)
+			b.halt(StatusLimit)
+			break
+		}
+		tally.nodes.Add(1)
+		if b.opts.Progress != nil && n%int64(b.progressEvery) == 0 {
+			b.mu.Lock()
+			b.emitLocked(ProgressNode)
+			b.mu.Unlock()
+		}
+		cutoff := math.Float64frombits(b.bestBits.Load())
+		out, err := b.step(cur, cutoff, ws, tally)
+		if err != nil {
+			return err
+		}
+		if out.pruned {
+			return nil
+		}
+		if out.integral {
+			b.publish(out.obj, out.x)
+			return nil
+		}
+		if out.deferred != nil {
+			b.mu.Lock()
+			b.pushLocked(out.deferred)
+			b.cond.Signal()
+			b.mu.Unlock()
+		}
+		cur = out.follow
+	}
+	if cur != nil {
+		// Chain cut early (plunge cap, stop flag, or a limit): the
+		// node survives as an open subproblem.
+		b.mu.Lock()
+		b.pushLocked(cur)
+		b.cond.Signal()
+		b.mu.Unlock()
+	}
+	return nil
+}
+
+// detStep records one expansion of a deterministic chain, in order.
+type detStep struct {
+	cur      *node // the node this step expanded
+	deferred *node // child pushed at the barrier (nil if none)
+	found    bool  // integer-feasible point discovered
+	obj      float64
+	x        []float64
+}
+
+// detChain is one worker's whole plunge, merged at the round barrier.
+type detChain struct {
+	steps    []detStep
+	leftover *node // chain cut by plungeLimit; requeued at the barrier
+	err      error
+}
+
+// plungeDet is the deterministic-mode plunge: identical chain logic,
+// but all queue/incumbent effects are recorded instead of applied. The
+// cutoff is frozen at the round start plus this chain's own finds, so
+// the chain's evolution depends only on its start node — never on the
+// other workers' timing.
+func (b *bb) plungeDet(nd *node, cutoff float64, ws *lpWorkspace, tally *workerTally) detChain {
+	var ch detChain
+	cur := nd
+	for steps := 0; cur != nil && steps < plungeLimit; steps++ {
+		out, err := b.step(cur, cutoff, ws, tally)
+		if err != nil {
+			ch.err = err
+			return ch
+		}
+		rec := detStep{cur: cur}
+		if out.pruned {
+			ch.steps = append(ch.steps, rec)
+			return ch
+		}
+		if out.integral {
+			rec.found, rec.obj, rec.x = true, out.obj, out.x
+			ch.steps = append(ch.steps, rec)
+			return ch
+		}
+		rec.deferred = out.deferred
+		ch.steps = append(ch.steps, rec)
+		cur = out.follow
+	}
+	ch.leftover = cur
+	return ch
+}
+
+// detBatch is the deterministic driver's round size. It is a fixed
+// constant so the search trajectory — which nodes each round pops
+// against which frozen cutoff — does not depend on Options.Threads;
+// more threads only spread a round's chains over more workers.
+const detBatch = 8
+
+// searchRounds is the deterministic driver. All shared-state mutation
+// happens between rounds on this goroutine; the only concurrency is
+// the embarrassingly-parallel chain expansion, synchronized by the
+// round's WaitGroup. The node-visit order, incumbent sequence, and
+// final assignment are identical at every thread count.
+func (b *bb) searchRounds(ws0 *lpWorkspace) (*Solution, error) {
+	nw := b.threads
+	if nw > detBatch {
+		nw = detBatch
+	}
+	wss := make([]*lpWorkspace, nw)
+	wss[0] = ws0
+	for i := 1; i < nw; i++ {
+		wss[i] = newWorkspace(b.sf)
+	}
+	batch := make([]*node, 0, detBatch)
+	results := make([]detChain, detBatch)
+	for len(b.queue) > 0 {
+		// Wall-clock stops are checked only at barriers, which keeps
+		// every round's work deterministic but makes a TimeLimit stop
+		// land at a timing-dependent round; NodeLimit cuts are exact.
+		if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+			return b.solution(StatusLimit), nil
+		}
+		if int(b.nodesDone.Load()) >= b.nodeLimit {
+			return b.solution(StatusLimit), nil
+		}
+		batch = batch[:0]
+		for len(batch) < detBatch && len(b.queue) > 0 {
+			nd := heap.Pop(&b.queue).(*node)
+			if nd.bound >= b.bestObj-1e-9 {
+				continue
+			}
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		cutoff := b.bestObj
+		var wg sync.WaitGroup
+		for w := 0; w < nw && w < len(batch); w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Worker w owns batch positions w, w+nw, w+2nw, ...;
+				// each chain's result lands at its batch index, so the
+				// merge below never sees the distribution.
+				for i := w; i < len(batch); i += nw {
+					results[i] = b.plungeDet(batch[i], cutoff, wss[w], &b.tallies[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		limitHit, err := b.mergeRound(batch, results, nw)
+		if err != nil {
+			return nil, err
+		}
+		if limitHit {
+			return b.solution(StatusLimit), nil
+		}
+		if b.opts.Progress != nil {
+			n := b.nodesDone.Load()
+			if n/int64(b.progressEvery) > b.lastBeat/int64(b.progressEvery) {
+				b.lastBeat = n
+				b.emitLocked(ProgressNode)
+			}
+		}
+		if b.opts.Gap > 0 && b.bestX != nil && len(b.queue) > 0 &&
+			relGap(b.bestObj, b.queue[0].bound) <= b.opts.Gap {
+			return b.solution(StatusOptimal), nil
+		}
+	}
+	if b.bestX == nil {
+		return b.solution(StatusInfeasible), nil
+	}
+	return b.solution(StatusOptimal), nil
+}
+
+// mergeRound applies the round's recorded effects in batch order —
+// which is (bound, id) order, fixed by the pops — crediting nodes
+// against the node limit as it goes. When the limit lands mid-chain
+// the chain is truncated at the exact step and the node that step
+// would have expanded is requeued, so a deterministic solve stops at
+// precisely NodeLimit nodes regardless of thread count. (The LP effort
+// of truncated tails was already spent and stays in the iteration
+// tallies; it is the same in every run because chains always execute
+// fully before the merge.)
+func (b *bb) mergeRound(batch []*node, results []detChain, nw int) (limitHit bool, err error) {
+	acc := int(b.nodesDone.Load())
+	for ci := range batch {
+		res := &results[ci]
+		if res.err != nil {
+			return false, res.err
+		}
+		steps := res.steps
+		if allowed := b.nodeLimit - acc; len(steps) > allowed {
+			// Requeue the first unaccounted node; it and everything
+			// after it are treated as never expanded.
+			b.pushLocked(steps[allowed].cur)
+			steps = steps[:allowed]
+			limitHit = true
+		}
+		acc += len(steps)
+		// Chain ci ran on worker ci%nw (the round's stride layout).
+		b.tallies[ci%nw].nodes.Add(int64(len(steps)))
+		for si := range steps {
+			st := &steps[si]
+			if st.found && st.obj < b.bestObj-1e-9 {
+				b.install(st.obj, st.x)
+				b.nodesDone.Store(int64(acc)) // keep the snapshot's node count honest
+				b.emitLocked(ProgressIncumbent)
+			}
+			if st.deferred != nil {
+				b.pushLocked(st.deferred)
+			}
+		}
+		if res.leftover != nil && !limitHit {
+			b.pushLocked(res.leftover)
+		}
+	}
+	b.nodesDone.Store(int64(acc))
+	return limitHit, nil
+}

@@ -30,6 +30,7 @@ func TestProgressHookReportsSearchTrajectory(t *testing.T) {
 	sol, err := Solve(m, Options{
 		Progress:      func(p Progress) { snaps = append(snaps, p) },
 		ProgressEvery: 1, // heartbeat on every node
+		Threads:       1, // exact emission cadence is a sequential-search property
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -111,12 +112,13 @@ func TestProgressHookReportsSearchTrajectory(t *testing.T) {
 
 func TestProgressHookNilIsFree(t *testing.T) {
 	// Solving with and without the hook must agree exactly (the hook
-	// must not perturb the search).
-	a, err := Solve(knapsackModel(t), Options{})
+	// must not perturb the search). Threads is pinned because only the
+	// sequential and deterministic searches promise exact replay.
+	a, err := Solve(knapsackModel(t), Options{Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(knapsackModel(t), Options{Progress: func(Progress) {}})
+	b, err := Solve(knapsackModel(t), Options{Threads: 1, Progress: func(Progress) {}})
 	if err != nil {
 		t.Fatal(err)
 	}

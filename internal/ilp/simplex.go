@@ -189,8 +189,60 @@ const (
 	inBasis
 )
 
+// lpWorkspace holds the per-solve simplex buffers so repeated LP solves
+// (branch and bound runs thousands against one standardForm) reuse
+// memory instead of hammering the allocator. A workspace is sized for
+// one standardForm and is NOT safe for concurrent use: each
+// branch-and-bound worker owns a private one, which is the only
+// simplex state shared between a node and its successor on the same
+// worker. The cached slack columns are immutable after construction.
+type lpWorkspace struct {
+	cols   []spCol
+	lo, hi []float64
+	cost   []float64 // phase-2 cost buffer
+	p1     []float64 // setup/phase-1 cost buffer
+	status []int8
+	basis  []int32
+	binv   [][]float64
+	xB     []float64
+	resid  []float64
+	y, w   []float64
+	bmat   [][]float64 // refactorization scratch, [B | I] augmented
+	slack  []spCol     // cached unit slack columns, one per row
+}
+
+// newWorkspace allocates buffers for solving LPs over sf. Capacities
+// cover the worst case of one artificial column per row.
+func newWorkspace(sf *standardForm) *lpWorkspace {
+	m := sf.m
+	capN := sf.nStruct + 2*m
+	ws := &lpWorkspace{
+		cols:   make([]spCol, 0, capN),
+		lo:     make([]float64, 0, capN),
+		hi:     make([]float64, 0, capN),
+		cost:   make([]float64, 0, capN),
+		p1:     make([]float64, 0, capN),
+		status: make([]int8, 0, capN),
+		basis:  make([]int32, m),
+		binv:   make([][]float64, m),
+		xB:     make([]float64, m),
+		resid:  make([]float64, m),
+		y:      make([]float64, m),
+		w:      make([]float64, m),
+		bmat:   make([][]float64, m),
+		slack:  make([]spCol, m),
+	}
+	for i := 0; i < m; i++ {
+		ws.binv[i] = make([]float64, m)
+		ws.bmat[i] = make([]float64, 2*m)
+		ws.slack[i] = spCol{ind: []int32{int32(i)}, val: []float64{1}}
+	}
+	return ws
+}
+
 type simplex struct {
 	sf        *standardForm
+	ws        *lpWorkspace
 	n         int // total columns: struct + slack + artificial
 	nSlack    int
 	cols      []spCol // all columns
@@ -231,10 +283,15 @@ type lpCounts struct {
 // hint, when non-nil, is a (near-)feasible point — typically the
 // parent node's LP solution — used to warm the initial nonbasic bound
 // assignment.
-func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64) (lpStatus, float64, []float64, lpCounts, error) {
+// ws supplies reusable buffers; nil allocates a fresh workspace (one
+// per branch-and-bound worker is the intended steady state).
+func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64, ws *lpWorkspace) (lpStatus, float64, []float64, lpCounts, error) {
+	if ws == nil {
+		ws = newWorkspace(sf)
+	}
 	total := lpCounts{}
 	for _, cadence := range []int{refactorEvery, 16, 4, 1} {
-		st, obj, x, counts, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint)
+		st, obj, x, counts, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint, ws)
 		total.iters += counts.iters
 		total.refactors += counts.refactors
 		if errors.Is(err, errNumerical) || errors.Is(err, errSingularBasis) {
@@ -245,22 +302,29 @@ func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64) 
 	return lpInfeasible, 0, nil, total, errNumerical
 }
 
-func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64) (lpStatus, float64, []float64, lpCounts, error) {
+func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64, ws *lpWorkspace) (lpStatus, float64, []float64, lpCounts, error) {
 	m := sf.m
 	s := &simplex{
 		sf:       sf,
+		ws:       ws,
 		nSlack:   m,
-		basis:    make([]int32, m),
-		xB:       make([]float64, m),
+		basis:    ws.basis[:m],
+		xB:       ws.xB[:m],
 		refEvery: cadence,
 	}
 	n := sf.nStruct + m
-	s.cols = make([]spCol, n, n+m)
+	s.cols = ws.cols[:n]
 	copy(s.cols, sf.cols)
-	s.lo = make([]float64, n, n+m)
-	s.hi = make([]float64, n, n+m)
-	s.cost = make([]float64, n, n+m)
-	s.status = make([]int8, n, n+m)
+	s.lo = ws.lo[:n]
+	s.hi = ws.hi[:n]
+	// The setup phase appends artificial columns to s.cost; phase 1
+	// then flips their costs to 1 in place, so the buffer must start
+	// zeroed. Phase 2 swaps in the separately-buffered model costs.
+	s.cost = ws.p1[:n]
+	for i := range s.cost {
+		s.cost[i] = 0
+	}
+	s.status = ws.status[:n]
 	copy(s.lo, lo)
 	copy(s.hi, hi)
 	for j := 0; j < sf.nStruct; j++ {
@@ -275,10 +339,10 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 			s.status[j] = nbUpper
 		}
 	}
-	// Slack columns.
+	// Slack columns (cached in the workspace; never mutated).
 	for i := 0; i < m; i++ {
 		j := sf.nStruct + i
-		s.cols[j] = spCol{ind: []int32{int32(i)}, val: []float64{1}}
+		s.cols[j] = ws.slack[i]
 		switch sf.ops[i] {
 		case LE:
 			s.lo[j], s.hi[j] = 0, Inf
@@ -291,7 +355,7 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	s.n = n
 	// Initial basis: slack where the residual fits its bounds,
 	// otherwise an artificial column absorbing the residual.
-	resid := make([]float64, m)
+	resid := ws.resid[:m]
 	copy(resid, sf.b)
 	for j := 0; j < sf.nStruct; j++ {
 		x := s.nbValue(j)
@@ -303,10 +367,13 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 			resid[r] -= col.val[k] * x
 		}
 	}
-	s.binv = make([][]float64, m)
+	s.binv = ws.binv[:m]
 	anyArtificial := false
 	for i := 0; i < m; i++ {
-		s.binv[i] = make([]float64, m)
+		row := s.binv[i]
+		for k := range row {
+			row[k] = 0
+		}
 		j := sf.nStruct + i
 		r := resid[i]
 		if r >= s.lo[j]-feasTol && r <= s.hi[j]+feasTol {
@@ -346,12 +413,11 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	s.n = len(s.cols)
 
 	if anyArtificial {
-		// Phase 1: minimize total artificial mass.
-		p1 := make([]float64, s.n)
+		// Phase 1: minimize total artificial mass. s.cost is the zeroed
+		// p1 buffer, so only the artificial entries need setting.
 		for j := sf.nStruct + m; j < s.n; j++ {
-			p1[j] = 1
+			s.cost[j] = 1
 		}
-		s.cost = p1
 		st, err := s.iterate(iterLimit)
 		if err != nil {
 			return lpInfeasible, 0, nil, s.counts(), err
@@ -369,8 +435,11 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	}
 	// Phase 2 costs: structural costs from the model; slacks and
 	// artificials cost zero.
-	s.cost = make([]float64, s.n)
-	copy(s.cost, sf.cost)
+	s.cost = ws.cost[:0]
+	s.cost = append(s.cost, sf.cost...)
+	for len(s.cost) < s.n {
+		s.cost = append(s.cost, 0)
+	}
 
 	st, err := s.iterate(iterLimit)
 	if err != nil {
@@ -434,8 +503,8 @@ func (s *simplex) objValue() float64 {
 // unboundedness, or the iteration limit.
 func (s *simplex) iterate(iterLimit int) (lpStatus, error) {
 	m := s.sf.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	y := s.ws.y[:m]
+	w := s.ws.w[:m]
 	bland := false
 	stall := 0
 	lastObj := math.Inf(1)
@@ -702,11 +771,16 @@ func (s *simplex) refactorize() error {
 		}()
 	}
 	m := s.sf.m
-	// Build B (dense) from the basis columns.
-	bmat := make([][]float64, m)
+	// Build B (dense) from the basis columns, reusing the workspace's
+	// [B | I] augmented scratch (its rows were permuted by the previous
+	// elimination, so every row is rezeroed).
+	bmat := s.ws.bmat[:m]
 	for i := range bmat {
-		bmat[i] = make([]float64, 2*m) // [B | I] augmented
-		bmat[i][m+i] = 1
+		row := bmat[i]
+		for k := range row {
+			row[k] = 0
+		}
+		row[m+i] = 1
 	}
 	for c, bj := range s.basis {
 		col := &s.cols[bj]
@@ -747,7 +821,7 @@ func (s *simplex) refactorize() error {
 		copy(s.binv[i], bmat[i][m:])
 	}
 	// Recompute xB = Binv · (b - A_N x_N).
-	resid := make([]float64, m)
+	resid := s.ws.resid[:m]
 	copy(resid, s.sf.b)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] == inBasis {

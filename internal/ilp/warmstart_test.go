@@ -53,12 +53,14 @@ func TestWarmStartFewerNodes(t *testing.T) {
 	// scenario: same feasible region, shifted utility) and re-solve at
 	// the compiler's default 3% certified gap — the configuration every
 	// core.Compile solve actually runs with.
+	// Threads pinned: the cold-vs-warm node-count comparison is only
+	// exact for the sequential search.
 	pert := correlatedKnapsack(20, 0.25)
-	cold, err := Solve(pert, Options{Gap: 0.03})
+	cold, err := Solve(pert, Options{Gap: 0.03, Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Solve(pert, Options{Gap: 0.03, Start: cold0.Values})
+	warm, err := Solve(pert, Options{Gap: 0.03, Start: cold0.Values, Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

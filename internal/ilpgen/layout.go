@@ -60,6 +60,10 @@ type Stats struct {
 	// WarmStarted reports that the solve installed a caller-supplied
 	// MIP start (ilp.Options.Start) as its root incumbent.
 	WarmStarted bool
+	// Threads is the number of branch-and-bound workers the solve ran
+	// with; Workers carries their per-worker effort tallies.
+	Threads int
+	Workers []ilp.WorkerCounts
 }
 
 // Layout is a concrete solution: symbolic assignments plus the mapping
@@ -121,6 +125,8 @@ func (p *ILP) extract(sol *ilp.Solution) (*Layout, error) {
 			Gap:         sol.AchievedGap(),
 			LimitHit:    sol.Status == ilp.StatusLimit,
 			WarmStarted: sol.WarmStarted,
+			Threads:     sol.Threads,
+			Workers:     append([]ilp.WorkerCounts(nil), sol.Workers...),
 		},
 		Values: append([]float64(nil), sol.Values...),
 	}
