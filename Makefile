@@ -13,7 +13,12 @@ BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
-.PHONY: build test race lint check bench bench-baseline bench-gate
+.PHONY: build test race lint check bench bench-baseline bench-gate \
+	difftest fuzz-smoke
+
+# Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md).
+FUZZTIME ?= 30s
+FUZZPKG  := ./internal/difftest/
 
 build:
 	$(GO) build ./...
@@ -43,3 +48,17 @@ bench-gate:
 # compares against were produced on comparable hardware.
 bench-baseline:
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write
+
+# difftest runs the full differential-testing matrix offline: four
+# oracles x four apps x three budgets (see docs/DIFFTEST.md).
+difftest:
+	$(GO) run ./cmd/difftest -seed 1 -n 10000
+
+# fuzz-smoke gives each coverage-guided target a short budget on top of
+# the checked-in corpora. Crashers land in
+# internal/difftest/testdata/fuzz/<Target>/ — commit them as
+# regression inputs after fixing the bug.
+fuzz-smoke:
+	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSimVsGolden -fuzztime=$(FUZZTIME)
+	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzMigrateCMS -fuzztime=$(FUZZTIME)

@@ -203,14 +203,30 @@ func main() {
 	fmt.Println("ok: within threshold")
 }
 
+// readBaseline loads and validates the checked-in baseline. Validation
+// matters: a zero ns/op entry would make a new/old ratio Inf, and a
+// negative one would make the geomean NaN — and `NaN > threshold` is
+// false, so a corrupt baseline would silently pass the gate rather
+// than fail it.
 func readBaseline(path string) (*Baseline, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if len(strings.TrimSpace(string(buf))) == 0 {
+		return nil, fmt.Errorf("benchgate: baseline %s is empty; regenerate with `make bench-baseline`", path)
+	}
 	var base Baseline
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(base.NsPerOp) == 0 {
+		return nil, fmt.Errorf("benchgate: baseline %s has no ns_per_op entries; regenerate with `make bench-baseline`", path)
+	}
+	for name, ns := range base.NsPerOp {
+		if ns <= 0 || math.IsNaN(ns) || math.IsInf(ns, 0) {
+			return nil, fmt.Errorf("benchgate: baseline %s: %s has invalid ns/op %v; regenerate with `make bench-baseline`", path, name, ns)
+		}
 	}
 	return &base, nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -96,5 +98,52 @@ func TestRoundTripThroughSummarize(t *testing.T) {
 	want := math.Sqrt(2000000 * 2200000)
 	if got := sums["BenchmarkILPSolveSmall/threads=1"]; math.Abs(got-want) > 1 {
 		t.Fatalf("summarized ns/op = %v, want %v", got, want)
+	}
+}
+
+// The gate must reject a degenerate baseline with a clear error rather
+// than dividing by zero: NaN/Inf geomean ratios compare false against
+// the threshold, which would let a corrupt baseline pass CI silently.
+func TestReadBaselineRejectsDegenerateFiles(t *testing.T) {
+	cases := []struct {
+		name, content, wantSubstr string
+	}{
+		{"empty file", "", "is empty"},
+		{"whitespace only", "  \n\t\n", "is empty"},
+		{"empty object", "{}", "no ns_per_op entries"},
+		{"no entries", `{"ns_per_op": {}}`, "no ns_per_op entries"},
+		{"not json", "Benchmark garbage", "invalid character"},
+		{"zero ns/op", `{"ns_per_op": {"BenchmarkILPSolve/x": 0}}`, "invalid ns/op"},
+		{"negative ns/op", `{"ns_per_op": {"BenchmarkILPSolve/x": -5}}`, "invalid ns/op"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "baseline.json")
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := readBaseline(path)
+			if err == nil {
+				t.Fatalf("readBaseline accepted %s baseline", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantSubstr) {
+				t.Errorf("error %q does not mention %q", err, c.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestReadBaselineAcceptsValidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	content := `{"ns_per_op": {"BenchmarkILPSolve/x": 1200.5}}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NsPerOp["BenchmarkILPSolve/x"] != 1200.5 {
+		t.Errorf("unexpected baseline contents: %v", base.NsPerOp)
 	}
 }

@@ -1,0 +1,46 @@
+package difftest
+
+import "p4all/internal/sim"
+
+// Shrink minimizes a failing packet stream with ddmin: it repeatedly
+// tries removing chunks of the stream, keeping any smaller stream that
+// still satisfies fails, halving the chunk size until single-packet
+// granularity makes no progress. fails must be deterministic (every
+// oracle predicate here rebuilds its pipelines from scratch per call,
+// so replays are independent). The returned stream still fails.
+func Shrink(stream []sim.Packet, fails func([]sim.Packet) bool) []sim.Packet {
+	cur := stream
+	// Budget the predicate calls: shrinking is a reporting nicety, not
+	// a soundness step, and each call replays a full stream.
+	budget := 2000
+	try := func(s []sim.Packet) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(s)
+	}
+	chunk := len(cur) / 2
+	for chunk >= 1 {
+		shrunk := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]sim.Packet, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if len(cand) > 0 && try(cand) {
+				cur = cand
+				shrunk = true
+				// Same start now addresses the next chunk.
+			} else {
+				start += chunk
+			}
+		}
+		if !shrunk || chunk == 1 {
+			if chunk == 1 {
+				break
+			}
+		}
+		chunk /= 2
+	}
+	return cur
+}

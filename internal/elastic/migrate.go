@@ -143,12 +143,16 @@ func MigrateCMS(old *structures.CountMinSketch, rows, cols int, hot []KeyCount) 
 	if old != nil && old.Rows() == rows && old.Cols() == cols {
 		return old.Clone(), nil
 	}
-	fresh, err := structures.NewCountMinSketch(rows, cols)
+	if old == nil {
+		return structures.NewCountMinSketch(rows, cols)
+	}
+	// Keep the old sketch's hash seed: a re-shaped sketch that silently
+	// reverted to seed 0 would count in a different hash family than
+	// the pipeline it mirrors (the same-shape Clone path above already
+	// preserves it).
+	fresh, err := structures.NewCountMinSketchSeeded(rows, cols, old.Seed())
 	if err != nil {
 		return nil, err
-	}
-	if old == nil {
-		return fresh, nil
 	}
 	for _, kc := range hot {
 		if est := old.Estimate(kc.Key); est > 0 {

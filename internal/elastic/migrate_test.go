@@ -169,3 +169,43 @@ func TestDiffLayouts(t *testing.T) {
 		t.Fatal("self-diff not Same")
 	}
 }
+
+// TestMigrateCMSPreservesSeed is the regression test for the seed-drop
+// bug: re-shaping a seeded sketch used to allocate the replacement
+// with seed 0, silently switching hash families mid-migration (the
+// same-shape Clone path kept the seed, making the two paths disagree).
+func TestMigrateCMSPreservesSeed(t *testing.T) {
+	old, err := structures.NewCountMinSketchSeeded(4, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.ZipfKeys(6, 5000, 1.1, 8000)
+	for _, k := range keys {
+		old.Update(k)
+	}
+	hot := Summarize(keys, 0, 64, 256).HotKeys
+
+	m, err := MigrateCMS(old, 3, 1024, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed() != old.Seed() {
+		t.Fatalf("re-shape dropped seed: got %d, want %d", m.Seed(), old.Seed())
+	}
+	// With the seed preserved, the migrated sketch must still dominate
+	// a fresh same-seed sketch over a shared suffix.
+	fresh, err := structures.NewCountMinSketchSeeded(3, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := workload.ZipfKeys(7, 5000, 1.1, 8000)
+	for _, k := range suffix {
+		m.Update(k)
+		fresh.Update(k)
+	}
+	for _, k := range suffix {
+		if m.Estimate(k) < fresh.Estimate(k) {
+			t.Fatalf("key %d: migrated estimate %d below fresh %d", k, m.Estimate(k), fresh.Estimate(k))
+		}
+	}
+}

@@ -57,7 +57,11 @@ type Pipeline struct {
 	steps []step
 	// meta holds the per-packet metadata (reset per packet); keys are
 	// flattened elastic names like "meta.count@2".
-	meta  map[string]uint64
+	meta map[string]uint64
+	// hdr is the per-packet header view: a defensive copy of the
+	// caller's Packet that header-field writes land in, so Process
+	// never mutates its argument (reset per packet).
+	hdr   map[string]uint64
 	stats Stats
 }
 
@@ -74,6 +78,7 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 		layout: layout,
 		regs:   make(map[string][][]uint64),
 		meta:   make(map[string]uint64),
+		hdr:    make(map[string]uint64),
 		stats:  Stats{ALUOps: make([]uint64, len(layout.Stages))},
 	}
 	// Allocate register storage from the layout.
@@ -216,18 +221,28 @@ func hashUint(key uint64, row uint64) uint64 {
 }
 
 // Process pushes one packet through the pipeline and returns the final
-// metadata view (flattened names: "meta.min", "meta.count@2", ...).
+// packet view: metadata fields (flattened names: "meta.min",
+// "meta.count@2", ...) plus the header fields as the pipeline left
+// them. The caller's Packet is copied on entry and never mutated —
+// header-field writes are visible only in the returned map, so the
+// same Packet value can be replayed any number of times.
 func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
 	p.stats.Packets++
 	for k := range p.meta {
 		delete(p.meta, k)
+	}
+	for k := range p.hdr {
+		delete(p.hdr, k)
+	}
+	for k, v := range pkt {
+		p.hdr[k] = v
 	}
 	for _, st := range p.steps {
 		loopVar := ""
 		if l := st.inv.Loop(); l != nil {
 			loopVar = l.Var
 		}
-		ev := &evaluator{p: p, pkt: pkt, action: st.inv.Action, iter: st.iter, loopVar: loopVar, stage: st.stage}
+		ev := &evaluator{p: p, action: st.inv.Action, iter: st.iter, loopVar: loopVar, stage: st.stage}
 		ok := true
 		for _, g := range st.inv.Guards {
 			v, err := ev.expr(g)
@@ -246,7 +261,10 @@ func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
 			return nil, err
 		}
 	}
-	out := make(map[string]uint64, len(p.meta))
+	out := make(map[string]uint64, len(p.hdr)+len(p.meta))
+	for k, v := range p.hdr {
+		out[k] = v
+	}
 	for k, v := range p.meta {
 		out[k] = v
 	}
@@ -267,7 +285,6 @@ func Meta(out map[string]uint64, field string, idx int) (uint64, bool) {
 // evaluator executes one action instance.
 type evaluator struct {
 	p       *Pipeline
-	pkt     Packet
 	action  *lang.Action
 	iter    int
 	loopVar string // innermost loop variable (guards refer to it)
@@ -317,12 +334,37 @@ func (ev *evaluator) stmt(s lang.Stmt) error {
 	}
 }
 
-// fieldWidthMask returns the truncation mask for a field width.
+// widthMask returns the truncation mask for a field width. Widths of
+// 64 or more (and non-positive widths, defensively) leave the full
+// 64-bit value intact.
 func widthMask(bits int) uint64 {
-	if bits >= 64 {
+	if bits <= 0 || bits >= 64 {
 		return ^uint64(0)
 	}
 	return (1 << uint(bits)) - 1
+}
+
+// maskTo wraps a value at the given bit width; width 0 means
+// "unconstrained" (compile-time names and literals) and is a no-op.
+func maskTo(v uint64, bits int) uint64 {
+	return v & widthMask(bits)
+}
+
+// combineWidth merges the widths of two operands: an unconstrained
+// operand (width 0) adopts the other's width; two constrained operands
+// take the wider, matching P4's implicit widening of mixed-width
+// arithmetic.
+func combineWidth(a, b int) int {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func (ev *evaluator) assign(ref *lang.Ref, v uint64) error {
@@ -356,7 +398,7 @@ func (ev *evaluator) assign(ref *lang.Ref, v uint64) error {
 			return err
 		}
 		if si.IsHeader {
-			ev.pkt[name] = v & widthMask(f.Width)
+			ev.p.hdr[name] = v & widthMask(f.Width)
 			return nil
 		}
 		ev.p.meta[name] = v & widthMask(f.Width)
@@ -418,84 +460,112 @@ func (ev *evaluator) indexValue(e lang.Expr) (uint64, error) {
 }
 
 func (ev *evaluator) expr(e lang.Expr) (uint64, error) {
+	v, _, err := ev.exprW(e)
+	return v, err
+}
+
+// exprW evaluates an expression and reports the bit width its value
+// wraps at: the declared width of the field or register the value was
+// loaded from, 64 for hash results, and 0 (unconstrained) for literals
+// and compile-time names. Arithmetic wraps at the combined operand
+// width — the truncation the bit<W> declarations in the generated P4
+// impose on hardware — so intermediate values in guards, comparisons,
+// and indexes match what a switch would compute, not 64-bit Go values.
+// Width masking was previously applied only at assignment, which let
+// an unassigned intermediate like (a - b) underflow at 64 bits instead
+// of the field width; the difftest golden models flushed that out.
+func (ev *evaluator) exprW(e lang.Expr) (uint64, int, error) {
 	switch e := e.(type) {
 	case *lang.IntLit:
-		return uint64(e.Value), nil
+		return uint64(e.Value), 0, nil
 	case *lang.BoolLit:
 		if e.Value {
-			return 1, nil
+			return 1, 0, nil
 		}
-		return 0, nil
+		return 0, 0, nil
 	case *lang.Unary:
-		v, err := ev.expr(e.X)
+		v, w, err := ev.exprW(e.X)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		ev.aluOp()
 		switch e.Op {
 		case lang.MINUS:
-			return -v, nil
+			return maskTo(-v, w), w, nil
 		case lang.NOT:
 			if v == 0 {
-				return 1, nil
+				return 1, 0, nil
 			}
-			return 0, nil
+			return 0, 0, nil
 		}
-		return 0, fmt.Errorf("sim: unsupported unary %s", e.Op)
+		return 0, 0, fmt.Errorf("sim: unsupported unary %s", e.Op)
 	case *lang.Binary:
-		x, err := ev.expr(e.X)
+		x, wx, err := ev.exprW(e.X)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		// Short-circuit boolean operators.
 		switch e.Op {
 		case lang.AND:
 			if x == 0 {
-				return 0, nil
+				return 0, 0, nil
 			}
 		case lang.OR:
 			if x != 0 {
-				return 1, nil
+				return 1, 0, nil
 			}
 		}
-		y, err := ev.expr(e.Y)
+		y, wy, err := ev.exprW(e.Y)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		ev.aluOp()
-		return binOp(e.Op, x, y)
+		v, err := binOp(e.Op, x, y)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch e.Op {
+		case lang.PLUS, lang.MINUS, lang.STAR, lang.SLASH, lang.PCT:
+			w := combineWidth(wx, wy)
+			return maskTo(v, w), w, nil
+		default:
+			// Comparisons and boolean connectives yield 0/1.
+			return v, 0, nil
+		}
 	case *lang.CallExpr:
 		args := make([]uint64, len(e.Args))
+		widths := make([]int, len(e.Args))
 		for i, a := range e.Args {
-			v, err := ev.expr(a)
+			v, w, err := ev.exprW(a)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			args[i] = v
+			widths[i] = w
 		}
 		ev.aluOp()
 		switch e.Name {
 		case "hash":
 			if len(args) != 2 {
-				return 0, fmt.Errorf("sim: hash expects 2 arguments")
+				return 0, 0, fmt.Errorf("sim: hash expects 2 arguments")
 			}
-			return hashUint(args[0], args[1]), nil
+			return hashUint(args[0], args[1]), 64, nil
 		case "min":
 			if args[0] < args[1] {
-				return args[0], nil
+				return args[0], combineWidth(widths[0], widths[1]), nil
 			}
-			return args[1], nil
+			return args[1], combineWidth(widths[0], widths[1]), nil
 		case "max":
 			if args[0] > args[1] {
-				return args[0], nil
+				return args[0], combineWidth(widths[0], widths[1]), nil
 			}
-			return args[1], nil
+			return args[1], combineWidth(widths[0], widths[1]), nil
 		}
-		return 0, fmt.Errorf("sim: unknown builtin %s", e.Name)
+		return 0, 0, fmt.Errorf("sim: unknown builtin %s", e.Name)
 	case *lang.Ref:
 		return ev.load(e)
 	default:
-		return 0, fmt.Errorf("sim: unsupported expression %T", e)
+		return 0, 0, fmt.Errorf("sim: unsupported expression %T", e)
 	}
 }
 
@@ -544,51 +614,54 @@ func binOp(op lang.Kind, x, y uint64) (uint64, error) {
 	}
 }
 
-func (ev *evaluator) load(ref *lang.Ref) (uint64, error) {
+// load reads a reference and reports the declared bit width the value
+// is constrained to (0 for compile-time names, which behave as
+// unconstrained integers).
+func (ev *evaluator) load(ref *lang.Ref) (uint64, int, error) {
 	base := ref.Base()
 	if ref.IsSimpleIdent() {
 		if ev.action.Decl != nil && base == ev.action.Decl.IndexParam {
-			return uint64(ev.iter), nil
+			return uint64(ev.iter), 0, nil
 		}
 		if ev.loopVar != "" && base == ev.loopVar {
-			return uint64(ev.iter), nil
+			return uint64(ev.iter), 0, nil
 		}
 		if sym := ev.p.unit.SymbolicByName(base); sym != nil {
-			return uint64(ev.p.layout.Symbolics[sym.Name]), nil
+			return uint64(ev.p.layout.Symbolics[sym.Name]), 0, nil
 		}
 		if v, ok := ev.p.unit.Consts[base]; ok {
-			return uint64(v), nil
+			return uint64(v), 0, nil
 		}
-		return 0, fmt.Errorf("sim: unknown name %s", base)
+		return 0, 0, fmt.Errorf("sim: unknown name %s", base)
 	}
 	if reg := ev.p.unit.RegisterByName(base); reg != nil {
 		inst, cell, err := ev.regTarget(ref, reg)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		store, ok := ev.p.Register(base, inst)
 		if !ok {
-			return 0, nil
+			return 0, reg.Width, nil
 		}
 		if cell >= uint64(len(store)) {
 			cell %= uint64(len(store))
 		}
 		ev.p.stats.RegReads++
-		return store[cell], nil
+		return store[cell], reg.Width, nil
 	}
 	if si := ev.p.unit.StructByName(base); si != nil && len(ref.Segs) == 2 {
 		f := si.Field(ref.Segs[1].Name)
 		if f == nil {
-			return 0, fmt.Errorf("sim: unknown field %s", lang.PrintExpr(ref))
+			return 0, 0, fmt.Errorf("sim: unknown field %s", lang.PrintExpr(ref))
 		}
 		name, err := ev.metaKey(ref, f)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if si.IsHeader {
-			return ev.pkt[name] & widthMask(f.Width), nil
+			return ev.p.hdr[name] & widthMask(f.Width), f.Width, nil
 		}
-		return ev.p.meta[name], nil
+		return ev.p.meta[name], f.Width, nil
 	}
-	return 0, fmt.Errorf("sim: cannot read %s", lang.PrintExpr(ref))
+	return 0, 0, fmt.Errorf("sim: cannot read %s", lang.PrintExpr(ref))
 }

@@ -11,6 +11,11 @@ import (
 	"fmt"
 )
 
+// Hash exposes the shared row-hash contract — the same mix the
+// simulator's hash() builtin computes — so callers that must predict
+// cell indexes (the differential tester's golden models) stay exact.
+func Hash(key, row uint64) uint64 { return hashUint(key, row) }
+
 // hashUint mixes a 64-bit key with a row index (splitmix64-style) so
 // rows behave as independent hash functions. Deterministic across
 // processes, unlike maphash.
@@ -27,21 +32,34 @@ func hashUint(key uint64, row uint64) uint64 {
 // CountMinSketch approximates per-key counts in sublinear space (§3.1).
 type CountMinSketch struct {
 	rows, cols int
+	seed       uint64
 	counts     [][]uint32
 }
 
 // NewCountMinSketch allocates a sketch with the given shape. Rows and
-// cols must be positive.
+// cols must be positive. Row r hashes with hashUint(key, r) — seed 0.
 func NewCountMinSketch(rows, cols int) (*CountMinSketch, error) {
+	return NewCountMinSketchSeeded(rows, cols, 0)
+}
+
+// NewCountMinSketchSeeded allocates a sketch whose row r hashes with
+// hashUint(key, seed+r). Compiled pipelines derive each module
+// instance's hash inputs from a per-module seed (NetCache's kv store
+// uses 16, SketchLearn's level l uses 8l, ...); a golden sketch must
+// use the same seed to index the same cells.
+func NewCountMinSketchSeeded(rows, cols int, seed uint64) (*CountMinSketch, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("structures: invalid CMS shape %dx%d", rows, cols)
 	}
-	c := &CountMinSketch{rows: rows, cols: cols, counts: make([][]uint32, rows)}
+	c := &CountMinSketch{rows: rows, cols: cols, seed: seed, counts: make([][]uint32, rows)}
 	for i := range c.counts {
 		c.counts[i] = make([]uint32, cols)
 	}
 	return c, nil
 }
+
+// Seed returns the hash seed the sketch rows offset by.
+func (c *CountMinSketch) Seed() uint64 { return c.seed }
 
 // Rows returns the sketch depth.
 func (c *CountMinSketch) Rows() int { return c.rows }
@@ -55,7 +73,7 @@ func (c *CountMinSketch) Cols() int { return c.cols }
 func (c *CountMinSketch) Update(key uint64) uint32 {
 	est := ^uint32(0)
 	for r := 0; r < c.rows; r++ {
-		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		idx := hashUint(key, c.seed+uint64(r)) % uint64(c.cols)
 		cell := &c.counts[r][idx]
 		if *cell != ^uint32(0) {
 			*cell++
@@ -73,7 +91,7 @@ func (c *CountMinSketch) Update(key uint64) uint32 {
 func (c *CountMinSketch) Add(key uint64, n uint32) uint32 {
 	est := ^uint32(0)
 	for r := 0; r < c.rows; r++ {
-		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		idx := hashUint(key, c.seed+uint64(r)) % uint64(c.cols)
 		cell := &c.counts[r][idx]
 		if *cell > ^uint32(0)-n {
 			*cell = ^uint32(0)
@@ -89,7 +107,7 @@ func (c *CountMinSketch) Add(key uint64, n uint32) uint32 {
 
 // Clone returns an independent deep copy of the sketch.
 func (c *CountMinSketch) Clone() *CountMinSketch {
-	out := &CountMinSketch{rows: c.rows, cols: c.cols, counts: make([][]uint32, c.rows)}
+	out := &CountMinSketch{rows: c.rows, cols: c.cols, seed: c.seed, counts: make([][]uint32, c.rows)}
 	for r := range c.counts {
 		out.counts[r] = append([]uint32(nil), c.counts[r]...)
 	}
@@ -100,7 +118,7 @@ func (c *CountMinSketch) Clone() *CountMinSketch {
 func (c *CountMinSketch) Estimate(key uint64) uint32 {
 	est := ^uint32(0)
 	for r := 0; r < c.rows; r++ {
-		idx := hashUint(key, uint64(r)) % uint64(c.cols)
+		idx := hashUint(key, c.seed+uint64(r)) % uint64(c.cols)
 		if v := c.counts[r][idx]; v < est {
 			est = v
 		}

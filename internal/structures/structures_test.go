@@ -432,3 +432,62 @@ func TestKVStoreEntriesAndPutIfVacant(t *testing.T) {
 		t.Errorf("Parts/Slots = %d/%d", kv.Parts(), kv.Slots())
 	}
 }
+
+func TestSeededCMSMatchesManualIndexing(t *testing.T) {
+	// A seeded sketch's row r must index with Hash(key, seed+r): the
+	// contract compiled pipelines rely on (NetCache's kv module hashes
+	// from seed 16, SketchLearn level l from 8l).
+	const seed = 16
+	cms, err := NewCountMinSketchSeeded(2, 64, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cms.Seed() != seed {
+		t.Fatalf("Seed() = %d, want %d", cms.Seed(), seed)
+	}
+	cms.Update(42)
+	for r := 0; r < 2; r++ {
+		idx := Hash(42, seed+uint64(r)) % 64
+		if got := cms.counts[r][idx]; got != 1 {
+			t.Errorf("row %d: seeded cell %d = %d, want 1", r, idx, got)
+		}
+	}
+	// Different seeds must hash to a different cell in at least one
+	// row for some key, or seeding would be a no-op.
+	other, _ := NewCountMinSketchSeeded(2, 64, 99)
+	diverged := false
+	for k := uint64(0); k < 32 && !diverged; k++ {
+		for r := uint64(0); r < 2; r++ {
+			if Hash(k, seed+r)%64 != Hash(k, 99+r)%64 {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 16 and 99 index identically over 32 keys")
+	}
+	_ = other
+}
+
+func TestSeedZeroMatchesUnseeded(t *testing.T) {
+	a, _ := NewCountMinSketch(3, 128)
+	b, _ := NewCountMinSketchSeeded(3, 128, 0)
+	for k := uint64(0); k < 200; k++ {
+		ea, eb := a.Update(k%17), b.Update(k%17)
+		if ea != eb {
+			t.Fatalf("key %d: unseeded estimate %d != seed-0 estimate %d", k%17, ea, eb)
+		}
+	}
+}
+
+func TestCloneKeepsSeed(t *testing.T) {
+	cms, _ := NewCountMinSketchSeeded(2, 32, 7)
+	cms.Update(5)
+	c := cms.Clone()
+	if c.Seed() != 7 {
+		t.Fatalf("clone dropped seed: %d", c.Seed())
+	}
+	if c.Estimate(5) != cms.Estimate(5) {
+		t.Fatal("clone estimate diverged")
+	}
+}
