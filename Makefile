@@ -6,9 +6,10 @@ SHELL := /bin/bash -o pipefail
 
 GO        ?= go
 # The benchmark families CI measures: the ILP solver scaling pair
-# (gated), plus the Figure 9 and drift end-to-end benchmarks (reported,
-# never gated — see cmd/benchgate).
-BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift
+# (gated on ns/op), the sim engine benchmarks (plan replay gated on
+# both ns/op and allocs/op), plus the Figure 9 and drift end-to-end
+# benchmarks (reported, never gated — see cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay
 BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
@@ -35,11 +36,13 @@ lint:
 check: build test race
 
 # bench writes the raw output to bench-new.txt for benchstat/benchgate.
+# -benchmem so the allocs/op columns feed benchgate's allocation gate.
 bench:
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) ./... | tee bench-new.txt
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | tee bench-new.txt
 
-# bench-gate compares bench-new.txt against the checked-in baseline and
-# fails on a >25% geomean regression in the ILP solve benchmarks.
+# bench-gate compares bench-new.txt against the checked-in baseline:
+# fails on a >25% geomean ns/op regression in the gated benchmarks, or
+# on any allocs/op increase in the plan-engine replay benchmarks.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline $(BASELINE) < bench-new.txt
 
@@ -47,9 +50,9 @@ bench-gate:
 # it on a CI-class runner (see docs/CI.md) so the numbers the gate
 # compares against were produced on comparable hardware.
 bench-baseline:
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write
 
-# difftest runs the full differential-testing matrix offline: four
+# difftest runs the full differential-testing matrix offline: five
 # oracles x four apps x three budgets (see docs/DIFFTEST.md).
 difftest:
 	$(GO) run ./cmd/difftest -seed 1 -n 10000

@@ -12,6 +12,13 @@
 // -gate. If that exceeds -threshold the gate exits nonzero. Benchmarks
 // outside -gate are reported but never fail the build.
 //
+// When the input carries allocs/op columns (run with -benchmem), a
+// second gate applies: any benchmark matching -allocgate whose worst
+// repetition allocates more than its baseline fails immediately — no
+// ratio, no averaging, because the sim plan engine's steady state is
+// pinned at exactly zero allocations and a single new allocation is a
+// real regression.
+//
 // Names are normalized by stripping the trailing -N GOMAXPROCS suffix
 // so runs from machines with different core counts compare; the
 // threads=N sub-benchmark dimension is part of the name and survives.
@@ -39,15 +46,20 @@ type Baseline struct {
 	Note    string             `json:"note"`
 	Lines   []string           `json:"lines"`
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp records each benchmark's worst-repetition allocs/op
+	// (present only when the recording run used -benchmem).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 // gomaxprocsSuffix is the `-8` tail go test appends to benchmark names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseBench extracts (normalized name, ns/op) samples and the raw
-// benchmark lines from go test -bench output.
-func parseBench(r io.Reader) (samples map[string][]float64, lines []string, err error) {
+// parseBench extracts (normalized name, ns/op) samples, allocs/op
+// samples for lines that carry them (-benchmem), and the raw benchmark
+// lines from go test -bench output.
+func parseBench(r io.Reader) (samples, allocs map[string][]float64, lines []string, err error) {
 	samples = make(map[string][]float64)
+	allocs = make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -60,16 +72,22 @@ func parseBench(r io.Reader) (samples map[string][]float64, lines []string, err 
 		if len(fields) < 4 {
 			continue
 		}
-		var ns float64
-		found := false
+		var ns, al float64
+		found, allocFound := false, false
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				ns, err = strconv.ParseFloat(fields[i], 64)
 				if err != nil {
-					return nil, nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", line, err)
+					return nil, nil, nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", line, err)
 				}
 				found = true
-				break
+			case "allocs/op":
+				al, err = strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", line, err)
+				}
+				allocFound = true
 			}
 		}
 		if !found {
@@ -77,9 +95,12 @@ func parseBench(r io.Reader) (samples map[string][]float64, lines []string, err 
 		}
 		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
 		samples[name] = append(samples[name], ns)
+		if allocFound {
+			allocs[name] = append(allocs[name], al)
+		}
 		lines = append(lines, line)
 	}
-	return samples, lines, sc.Err()
+	return samples, allocs, lines, sc.Err()
 }
 
 // geomean of strictly positive values.
@@ -101,6 +122,49 @@ func summarize(samples map[string][]float64) map[string]float64 {
 		out[name] = geomean(xs)
 	}
 	return out
+}
+
+// summarizeMax folds repetition samples into the worst (max) value per
+// name — the right reduction for allocs/op, where zero is the target
+// and a single allocating repetition is a genuine regression (and
+// where geomean would blow up on the zeros).
+func summarizeMax(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		worst := 0.0
+		for _, x := range xs {
+			if x > worst {
+				worst = x
+			}
+		}
+		out[name] = worst
+	}
+	return out
+}
+
+// compareAllocs checks every gated benchmark present in both maps for
+// an allocation increase and prints violations; returns how many
+// benchmarks it checked and how many regressed.
+func compareAllocs(w io.Writer, base, fresh map[string]float64, gate *regexp.Regexp) (checked, regressed int) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if gate.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now, ok := fresh[name]
+		if !ok {
+			continue
+		}
+		checked++
+		if now > base[name] {
+			regressed++
+			fmt.Fprintf(w, "ALLOC REGRESSION %s: %.0f allocs/op, baseline %.0f\n", name, now, base[name])
+		}
+	}
+	return checked, regressed
 }
 
 // compare renders the delta table and returns the geomean ratio over
@@ -143,7 +207,8 @@ func main() {
 	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
-	gatePat := flag.String("gate", `^BenchmarkILPSolve`, "regexp selecting the benchmarks that can fail the gate")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan`, "regexp selecting the benchmarks that can fail the ns/op gate")
+	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
 	flag.Parse()
 
 	if *text {
@@ -157,7 +222,7 @@ func main() {
 		return
 	}
 
-	samples, lines, err := parseBench(os.Stdin)
+	samples, allocSamples, lines, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,9 +232,10 @@ func main() {
 
 	if *write {
 		base := Baseline{
-			Note:    "regenerate with `make bench-baseline` on a CI-class runner; consumed by cmd/benchgate",
-			Lines:   lines,
-			NsPerOp: summarize(samples),
+			Note:        "regenerate with `make bench-baseline` on a CI-class runner; consumed by cmd/benchgate",
+			Lines:       lines,
+			NsPerOp:     summarize(samples),
+			AllocsPerOp: summarizeMax(allocSamples),
 		}
 		buf, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
@@ -190,14 +256,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	allocGate, err := regexp.Compile(*allocGatePat)
+	if err != nil {
+		fatal(err)
+	}
 	ratio, gated := compare(os.Stdout, base.NsPerOp, summarize(samples), gate)
 	if gated == 0 {
 		fatal(fmt.Errorf("benchgate: no benchmarks matched gate %q", *gatePat))
 	}
+	failed := false
 	fmt.Printf("\ngate %q: geomean new/old = %.3f over %d benchmarks (threshold %.2f)\n",
 		*gatePat, ratio, gated, *threshold)
 	if ratio > *threshold {
-		fmt.Printf("FAIL: solver benchmarks regressed by %.1f%% geomean\n", 100*(ratio-1))
+		fmt.Printf("FAIL: gated benchmarks regressed by %.1f%% geomean\n", 100*(ratio-1))
+		failed = true
+	}
+	// The alloc gate only applies where both sides carry the data:
+	// baselines recorded before -benchmem, or runs without it, skip it.
+	if len(base.AllocsPerOp) > 0 && len(allocSamples) > 0 {
+		checked, regressed := compareAllocs(os.Stdout, base.AllocsPerOp, summarizeMax(allocSamples), allocGate)
+		fmt.Printf("alloc gate %q: %d benchmarks checked, %d regressed\n", *allocGatePat, checked, regressed)
+		if regressed > 0 {
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("ok: within threshold")
@@ -226,6 +309,13 @@ func readBaseline(path string) (*Baseline, error) {
 	for name, ns := range base.NsPerOp {
 		if ns <= 0 || math.IsNaN(ns) || math.IsInf(ns, 0) {
 			return nil, fmt.Errorf("benchgate: baseline %s: %s has invalid ns/op %v; regenerate with `make bench-baseline`", path, name, ns)
+		}
+	}
+	// Zero allocs/op is not just valid, it's the value the alloc gate
+	// exists to defend.
+	for name, al := range base.AllocsPerOp {
+		if al < 0 || math.IsNaN(al) || math.IsInf(al, 0) {
+			return nil, fmt.Errorf("benchgate: baseline %s: %s has invalid allocs/op %v; regenerate with `make bench-baseline`", path, name, al)
 		}
 	}
 	return &base, nil

@@ -17,17 +17,20 @@ BenchmarkILPSolveSmall/threads=1-4         	       3	   2000000 ns/op	       716
 BenchmarkILPSolveSmall/threads=1-4         	       3	   2200000 ns/op	       716.0 bnb-nodes	      2307 simplex-iters
 BenchmarkILPSolveSmall/threads=4-4         	       3	   1000000 ns/op	       716.0 bnb-nodes	      2307 simplex-iters
 BenchmarkFigure9UnrollBound-4              	     100	     50000 ns/op
+BenchmarkSimReplay/NetCache/engine=plan-4  	     435	   2600000 ns/op	   1575000 pkts/sec	       0 B/op	       0 allocs/op
+BenchmarkSimReplay/NetCache/engine=plan-4  	     435	   2700000 ns/op	   1520000 pkts/sec	       0 B/op	       0 allocs/op
+BenchmarkSimReplay/NetCache/engine=interp-4	      12	  95000000 ns/op	     43000 pkts/sec	27769712 B/op	  864890 allocs/op
 PASS
 ok  	p4all/internal/ilp	0.144s
 `
 
 func TestParseBenchNormalizesAndCollects(t *testing.T) {
-	samples, lines, err := parseBench(strings.NewReader(sampleRun))
+	samples, allocs, lines, err := parseBench(strings.NewReader(sampleRun))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) != 4 {
-		t.Fatalf("got %d raw lines, want 4", len(lines))
+	if len(lines) != 7 {
+		t.Fatalf("got %d raw lines, want 7", len(lines))
 	}
 	// GOMAXPROCS suffix stripped; threads=N dimension kept.
 	reps, ok := samples["BenchmarkILPSolveSmall/threads=1"]
@@ -36,6 +39,48 @@ func TestParseBenchNormalizesAndCollects(t *testing.T) {
 	}
 	if _, ok := samples["BenchmarkFigure9UnrollBound"]; !ok {
 		t.Fatalf("figure benchmark missing: %v", samples)
+	}
+	// allocs/op collected only for -benchmem lines; reps preserved.
+	if reps, ok := allocs["BenchmarkSimReplay/NetCache/engine=plan"]; !ok || len(reps) != 2 || reps[0] != 0 {
+		t.Fatalf("plan allocs = %v, want two zero reps", reps)
+	}
+	if reps := allocs["BenchmarkSimReplay/NetCache/engine=interp"]; len(reps) != 1 || reps[0] != 864890 {
+		t.Fatalf("interp allocs = %v", reps)
+	}
+	if _, ok := allocs["BenchmarkFigure9UnrollBound"]; ok {
+		t.Fatal("benchmark without -benchmem columns should have no alloc samples")
+	}
+}
+
+func TestSummarizeMaxTakesWorstRep(t *testing.T) {
+	got := summarizeMax(map[string][]float64{"a": {0, 3, 1}, "b": {0, 0}})
+	if got["a"] != 3 || got["b"] != 0 {
+		t.Fatalf("summarizeMax = %v", got)
+	}
+}
+
+func TestCompareAllocsFlagsOnlyGatedIncreases(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSimReplay/NetCache/engine=plan":   0,
+		"BenchmarkSimReplay/NetCache/engine=interp": 864890,
+		"BenchmarkSimReplay/Precision/engine=plan":  0,
+	}
+	fresh := map[string]float64{
+		"BenchmarkSimReplay/NetCache/engine=plan":   2,       // regression
+		"BenchmarkSimReplay/NetCache/engine=interp": 9999999, // ungated
+		"BenchmarkSimReplay/Precision/engine=plan":  0,       // fine
+	}
+	gate := regexp.MustCompile(`^BenchmarkSimReplay/.*engine=plan`)
+	var buf strings.Builder
+	checked, regressed := compareAllocs(&buf, base, fresh, gate)
+	if checked != 2 || regressed != 1 {
+		t.Fatalf("checked=%d regressed=%d, want 2/1", checked, regressed)
+	}
+	if !strings.Contains(buf.String(), "NetCache/engine=plan") {
+		t.Fatalf("violation not named:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "interp") {
+		t.Fatalf("ungated benchmark flagged:\n%s", buf.String())
 	}
 }
 
@@ -90,7 +135,7 @@ func TestCompareReportsMissingAndNew(t *testing.T) {
 }
 
 func TestRoundTripThroughSummarize(t *testing.T) {
-	samples, _, err := parseBench(strings.NewReader(sampleRun))
+	samples, _, _, err := parseBench(strings.NewReader(sampleRun))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +160,7 @@ func TestReadBaselineRejectsDegenerateFiles(t *testing.T) {
 		{"not json", "Benchmark garbage", "invalid character"},
 		{"zero ns/op", `{"ns_per_op": {"BenchmarkILPSolve/x": 0}}`, "invalid ns/op"},
 		{"negative ns/op", `{"ns_per_op": {"BenchmarkILPSolve/x": -5}}`, "invalid ns/op"},
+		{"negative allocs/op", `{"ns_per_op": {"BenchmarkILPSolve/x": 5}, "allocs_per_op": {"BenchmarkSimReplay/x": -1}}`, "invalid allocs/op"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -135,7 +181,7 @@ func TestReadBaselineRejectsDegenerateFiles(t *testing.T) {
 
 func TestReadBaselineAcceptsValidFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
-	content := `{"ns_per_op": {"BenchmarkILPSolve/x": 1200.5}}`
+	content := `{"ns_per_op": {"BenchmarkILPSolve/x": 1200.5}, "allocs_per_op": {"BenchmarkSimReplay/x/engine=plan": 0}}`
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -145,5 +191,8 @@ func TestReadBaselineAcceptsValidFile(t *testing.T) {
 	}
 	if base.NsPerOp["BenchmarkILPSolve/x"] != 1200.5 {
 		t.Errorf("unexpected baseline contents: %v", base.NsPerOp)
+	}
+	if v, ok := base.AllocsPerOp["BenchmarkSimReplay/x/engine=plan"]; !ok || v != 0 {
+		t.Errorf("zero allocs/op baseline entry not preserved: %v", base.AllocsPerOp)
 	}
 }

@@ -1,13 +1,14 @@
 // Command difftest runs the differential testing harness
 // (internal/difftest) offline: every benchmark app is compiled at
-// several memory budgets and checked under the four oracles — layout
-// invariance, sim vs golden structures, snapshot round-trip, and
-// migration soundness. A clean run exits 0; any oracle violation
-// prints a (shrunken) repro and exits 1.
+// several memory budgets and checked under the five oracles — layout
+// invariance, sim vs golden structures, snapshot round-trip, engine
+// equivalence, and migration soundness. A clean run exits 0; any
+// oracle violation prints a (shrunken) repro and exits 1.
 //
 //	go run ./cmd/difftest -seed 1 -n 10000
 //	go run ./cmd/difftest -apps NetCache,Precision -budgets 524288,1048576
 //	go run ./cmd/difftest -oracles golden,snapshot -n 100000 -seed 7
+//	go run ./cmd/difftest -engine interp -n 10000   # bisect to the engine
 //
 // See docs/DIFFTEST.md for the oracle definitions.
 package main
@@ -28,7 +29,8 @@ func main() {
 	n := flag.Int("n", 10000, "packets per generated stream")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all four)")
 	budgetsFlag := flag.String("budgets", "", "comma-separated per-stage memory budgets in bits (default: 524288,1048576,2097152)")
-	oraclesFlag := flag.String("oracles", "", "comma-separated oracle subset: layout,golden,snapshot,migrate (default: all)")
+	oraclesFlag := flag.String("oracles", "", "comma-separated oracle subset: layout,golden,snapshot,engine,migrate (default: all)")
+	engine := flag.String("engine", "", "sim engine the replay oracles use: plan or interp (default plan)")
 	shrink := flag.Bool("shrink", true, "minimize failing streams before reporting")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
@@ -38,6 +40,7 @@ func main() {
 		N:       *n,
 		Apps:    splitList(*appsFlag),
 		Oracles: splitList(*oraclesFlag),
+		Engine:  *engine,
 		Shrink:  *shrink,
 	}
 	var log io.Writer = os.Stderr

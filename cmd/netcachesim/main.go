@@ -8,12 +8,19 @@
 // stream served by a frozen layout and by the elastic runtime
 // controller, reporting per-window hit rates across a skew step (see
 // docs/ELASTICITY.md).
+//
+// With -simreplay N it compiles NetCache, replays N Zipf packets
+// through the behavioral pipeline on the engine chosen by -engine
+// (plan or interp), and reports packets/sec plus the pipeline's
+// resource counters — a quick way to bisect a throughput regression
+// to the execution engine (see docs/SIM_PERF.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"p4all/internal/apps"
 	"p4all/internal/core"
@@ -21,6 +28,8 @@ import (
 	"p4all/internal/ilp"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
+	"p4all/internal/sim"
+	"p4all/internal/workload"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 		trace    = flag.String("trace", "", "write a JSONL trace of the shape compile and simulation to this file")
 		summary  = flag.Bool("summary", false, "print an observability summary table to stderr")
 		drift    = flag.Bool("drift", false, "run the workload-drift experiment (frozen vs elastic controller)")
+		engine   = flag.String("engine", "plan", "sim execution engine: plan or interp")
+		replayN  = flag.Int("simreplay", 0, "replay N packets through the behavioral pipeline and report packets/sec (0: off)")
 	)
 	flag.Parse()
 	solver := ilp.Options{Threads: *threads, Deterministic: *det}
@@ -46,6 +57,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netcachesim:", err)
 		os.Exit(1)
+	}
+
+	if *replayN > 0 {
+		if err := runSimReplay(*engine, *mem, *keys, *replayN, *zipf, *seed, solver, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "netcachesim:", err)
+			os.Exit(1)
+		}
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "netcachesim: trace:", err)
+		}
+		return
 	}
 
 	if *drift {
@@ -104,6 +126,53 @@ func main() {
 	}
 	fmt.Printf("cms %dx%d (%d bits), kv %d items (%d bits): hit rate %.4f over %d requests\n",
 		p.CMSRows, p.CMSCols, int64(p.CMSRows*p.CMSCols)*32, p.KVSlots, int64(p.KVSlots)*64, p.HitRate, *requests)
+}
+
+// runSimReplay compiles NetCache and pushes a Zipf stream through the
+// behavioral pipeline on the requested engine, reporting throughput
+// and the pipeline's resource counters.
+func runSimReplay(engine string, mem, keys, n int, zipf float64, seed int64, solver ilp.Options, tracer *obs.Tracer) error {
+	eng, err := sim.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "compiling NetCache for the replay...")
+	app := apps.NetCache(apps.NetCacheConfig{})
+	res, err := core.Compile(app.Source, pisa.EvalTarget(mem), core.Options{Solver: solver, SkipCodegen: true, Tracer: tracer})
+	if err != nil {
+		return err
+	}
+	pipe, err := sim.NewEngine(res.Unit, res.Layout, eng)
+	if err != nil {
+		return err
+	}
+	if eng == sim.EnginePlan {
+		if ferr := pipe.PlanFallback(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "plan compiler fell back to the interpreter:", ferr)
+		}
+	}
+	stream := workload.ZipfKeys(seed, keys, zipf, n)
+	pkts := make([]sim.Packet, len(stream))
+	for i, k := range stream {
+		pkts[i] = sim.Packet{"query.key": k & 0xFFFFFFFF, "query.op": 0, "ipv4.dst": k & 0xFFFFFFFF}
+	}
+	start := time.Now()
+	if err := pipe.Replay(pkts, nil); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	stats := pipe.Stats()
+	pps := float64(len(pkts)) / elapsed.Seconds()
+	tracer.Event("netcachesim.simreplay",
+		obs.String("engine", pipe.EngineName()),
+		obs.Int("packets", len(pkts)),
+		obs.Float("pkts_per_sec", pps),
+	)
+	fmt.Printf("engine %s: %d packets in %v (%.0f pkts/sec)\n",
+		pipe.EngineName(), len(pkts), elapsed.Round(time.Millisecond), pps)
+	fmt.Printf("register reads %d, writes %d, ALU ops %d\n",
+		stats.RegReads, stats.RegWrites, stats.TotalALUOps())
+	return nil
 }
 
 // runDrift renders the workload-drift experiment as a text table in

@@ -1,7 +1,7 @@
 // Package difftest is the differential and metamorphic testing harness
 // for the compiler pipeline: it executes the same elastic program under
 // multiple independently derived configurations and demands
-// bit-identical observable behavior. Four oracles cover the pipeline's
+// bit-identical observable behavior. Five oracles cover the pipeline's
 // correctness surface:
 //
 //  1. layout invariance — one program with its symbolics pinned must
@@ -12,7 +12,10 @@
 //     shared hash contract makes the comparison exact);
 //  3. snapshot round-trip — Snapshot/Restore at arbitrary stream
 //     prefixes must not perturb subsequent outputs;
-//  4. migration soundness — elastic CMS state migration never
+//  4. engine equivalence — the compiled execution plan and the
+//     reference AST interpreter must produce identical outputs,
+//     register end-state, and Stats counters for every packet;
+//  5. migration soundness — elastic CMS state migration never
 //     underestimates relative to a fresh sketch fed the same suffix.
 //
 // The harness is deterministic: every stream and every auxiliary
@@ -56,7 +59,7 @@ type AppSpec struct {
 	// seed feeds any auxiliary state the model pre-loads (NetCache's
 	// key-value store contents).
 	NewGolden func(l *ilpgen.Layout, seed int64) (Golden, error)
-	// MigrShape extracts the (rows, cols) shape oracle 4 migrates
+	// MigrShape extracts the (rows, cols) shape oracle 5 migrates
 	// between layouts.
 	MigrShape func(l *ilpgen.Layout) (rows, cols int)
 	// MigrSeed is the hash seed of the migrated sketch instance.
@@ -123,7 +126,7 @@ func precisionSpec() AppSpec {
 			{Name: "pkt.len", Width: 16},
 		},
 		NewGolden: newPrecisionGolden,
-		// Precision has no CMS module; oracle 4 migrates a sketch of
+		// Precision has no CMS module; oracle 5 migrates a sketch of
 		// the hash table's solved shape instead, so every app still
 		// exercises a layout-derived migration.
 		MigrShape: func(l *ilpgen.Layout) (int, int) {
@@ -154,12 +157,13 @@ const (
 	OracleLayout   = "layout"
 	OracleGolden   = "golden"
 	OracleSnapshot = "snapshot"
+	OracleEngine   = "engine"
 	OracleMigrate  = "migrate"
 )
 
 // AllOracles lists every oracle in run order.
 func AllOracles() []string {
-	return []string{OracleGolden, OracleSnapshot, OracleLayout, OracleMigrate}
+	return []string{OracleGolden, OracleSnapshot, OracleEngine, OracleLayout, OracleMigrate}
 }
 
 // Config parameterizes one harness run.
@@ -173,8 +177,12 @@ type Config struct {
 	Budgets []int
 	// Apps filters the suite by name; empty runs all four.
 	Apps []string
-	// Oracles filters the oracle set; empty runs all four.
+	// Oracles filters the oracle set; empty runs all five.
 	Oracles []string
+	// Engine selects the sim execution engine ("plan" or "interp") the
+	// golden, snapshot, and layout oracles replay with. Empty means
+	// "plan". The engine oracle always runs both regardless.
+	Engine string
 	// LayoutVariants caps how many (app, budget) pairs run the
 	// expensive layout-invariance oracle (each costs three extra ILP
 	// solves). Zero means no cap.
@@ -252,6 +260,12 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := sim.EnginePlan
+	if cfg.Engine != "" {
+		if eng, err = sim.ParseEngine(cfg.Engine); err != nil {
+			return nil, fmt.Errorf("difftest: %w", err)
+		}
+	}
 	want := make(map[string]bool, len(cfg.Oracles))
 	for _, o := range cfg.Oracles {
 		want[o] = true
@@ -270,14 +284,17 @@ func Run(cfg Config) (*Report, error) {
 			}
 			layouts[bi] = res.Layout
 			if want[OracleGolden] {
-				checkGolden(rep, cfg, spec, res, budget, stream)
+				checkGolden(rep, cfg, eng, spec, res, budget, stream)
 			}
 			if want[OracleSnapshot] {
-				checkSnapshot(rep, cfg, spec, res, budget, stream)
+				checkSnapshot(rep, cfg, eng, spec, res, budget, stream)
+			}
+			if want[OracleEngine] {
+				checkEngines(rep, cfg, spec, res, budget, stream)
 			}
 			if want[OracleLayout] && (cfg.LayoutVariants == 0 || layoutRuns < cfg.LayoutVariants) {
 				layoutRuns++
-				if err := checkLayoutInvariance(rep, cfg, spec, res, tgt, budget, stream); err != nil {
+				if err := checkLayoutInvariance(rep, cfg, eng, spec, res, tgt, budget, stream); err != nil {
 					return nil, err
 				}
 			}

@@ -25,8 +25,9 @@ var fuzzCompiles struct {
 }
 
 // fuzzCompileAll compiles the whole suite (cached process-wide so the
-// fuzz targets share one set of solves in plain `go test` mode).
-func fuzzCompileAll(f *testing.F) map[string]*core.Result {
+// fuzz targets — and the engine equivalence test — share one set of
+// solves in plain `go test` mode).
+func fuzzCompileAll(f testing.TB) map[string]*core.Result {
 	f.Helper()
 	fuzzCompiles.Lock()
 	defer fuzzCompiles.Unlock()
@@ -78,7 +79,9 @@ func fuzzSpec(appIdx byte) AppSpec {
 }
 
 // FuzzSimVsGolden replays arbitrary byte-derived streams against the
-// golden models (oracle 2 under coverage guidance).
+// golden models (oracle 2 under coverage guidance), and cross-checks
+// the two execution engines against each other on the same stream
+// (oracle 4), so every corpus entry also fuzzes the plan compiler.
 func FuzzSimVsGolden(f *testing.F) {
 	compiled := fuzzCompileAll(f)
 	f.Add(byte(0), []byte("netcache-seed"))
@@ -89,12 +92,22 @@ func FuzzSimVsGolden(f *testing.F) {
 		spec := fuzzSpec(appIdx)
 		res := compiled[spec.Name]
 		stream := streamFromBytes(spec, data)
-		div, err := replayGolden(spec, res, stream, int64(appIdx))
+		div, err := replayGolden(spec, res, sim.EnginePlan, stream, int64(appIdx))
 		if err != nil {
 			t.Fatalf("%s: replay error: %v", spec.Name, err)
 		}
 		if div != nil {
 			t.Fatalf("%s diverged from golden: %s\n%s", spec.Name, div, formatStream(stream))
+		}
+		div, detail, err := replayEngines(spec, res, stream, int64(appIdx))
+		if err != nil {
+			t.Fatalf("%s: engine replay error: %v", spec.Name, err)
+		}
+		if div != nil {
+			t.Fatalf("%s: engines diverged: %s\n%s", spec.Name, div, formatStream(stream))
+		}
+		if detail != "" {
+			t.Fatalf("%s: engine oracle: %s\n%s", spec.Name, detail, formatStream(stream))
 		}
 	})
 }
@@ -118,7 +131,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if cut == 0 {
 			return
 		}
-		div, err := replaySnapshot(spec, res, stream, cut, int64(appIdx))
+		div, err := replaySnapshot(spec, res, sim.EnginePlan, stream, cut, int64(appIdx))
 		if err != nil {
 			t.Fatalf("%s: replay error: %v", spec.Name, err)
 		}
@@ -128,7 +141,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzMigrateCMS checks oracle 4's invariant over arbitrary shapes,
+// FuzzMigrateCMS checks oracle 5's invariant over arbitrary shapes,
 // seeds, and key streams: a migrated sketch never under-counts
 // relative to a fresh sketch fed the same suffix. Pure structures —
 // no compile — so this target explores shape space cheaply.

@@ -25,17 +25,18 @@ func (d *divergence) String() string {
 	return fmt.Sprintf("packet %d: %s = %d, want %d", d.packet, d.field, d.got, d.want)
 }
 
-// newPipeline builds a fresh executable for a compile result.
-func newPipeline(res *core.Result) (*sim.Pipeline, error) {
-	return sim.New(res.Unit, res.Layout)
+// newPipeline builds a fresh executable for a compile result on the
+// requested engine.
+func newPipeline(res *core.Result, eng sim.Engine) (*sim.Pipeline, error) {
+	return sim.NewEngine(res.Unit, res.Layout, eng)
 }
 
 // --- oracle 2: sim vs golden structures ---------------------------------
 
 // replayGolden runs a stream through a fresh pipeline and the app's
 // golden model side by side and returns the first divergence.
-func replayGolden(spec AppSpec, res *core.Result, stream []sim.Packet, seed int64) (*divergence, error) {
-	pipe, err := newPipeline(res)
+func replayGolden(spec AppSpec, res *core.Result, eng sim.Engine, stream []sim.Packet, seed int64) (*divergence, error) {
+	pipe, err := newPipeline(res, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -62,10 +63,10 @@ func replayGolden(spec AppSpec, res *core.Result, stream []sim.Packet, seed int6
 	return nil, nil
 }
 
-func checkGolden(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
+func checkGolden(rep *Report, cfg Config, eng sim.Engine, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
 	rep.Checks++
 	rep.Packets += len(stream)
-	div, err := replayGolden(spec, res, stream, cfg.Seed)
+	div, err := replayGolden(spec, res, eng, stream, cfg.Seed)
 	if err != nil {
 		rep.Failures = append(rep.Failures, Failure{
 			App: spec.Name, Oracle: OracleGolden, Budget: budget,
@@ -79,7 +80,7 @@ func checkGolden(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget
 	f := Failure{App: spec.Name, Oracle: OracleGolden, Budget: budget, Detail: div.String()}
 	if cfg.Shrink {
 		min := Shrink(stream, func(s []sim.Packet) bool {
-			d, err := replayGolden(spec, res, s, cfg.Seed)
+			d, err := replayGolden(spec, res, eng, s, cfg.Seed)
 			return err == nil && d != nil
 		})
 		f.Repro = reproNote(spec, cfg, min)
@@ -92,8 +93,8 @@ func checkGolden(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget
 // replaySnapshot runs prefix packets, snapshots, finishes the stream,
 // restores, and re-runs the suffix; the two suffix output sequences
 // must be identical.
-func replaySnapshot(spec AppSpec, res *core.Result, stream []sim.Packet, cut int, seed int64) (*divergence, error) {
-	pipe, err := newPipeline(res)
+func replaySnapshot(spec AppSpec, res *core.Result, eng sim.Engine, stream []sim.Packet, cut int, seed int64) (*divergence, error) {
+	pipe, err := newPipeline(res, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +151,7 @@ func diffOutputs(packet int, want, got map[string]uint64) *divergence {
 	return nil
 }
 
-func checkSnapshot(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
+func checkSnapshot(rep *Report, cfg Config, eng sim.Engine, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
 	n := len(stream)
 	for _, cut := range []int{n / 4, n / 2, 3 * n / 4} {
 		if cut <= 0 || cut >= n {
@@ -158,7 +159,7 @@ func checkSnapshot(rep *Report, cfg Config, spec AppSpec, res *core.Result, budg
 		}
 		rep.Checks++
 		rep.Packets += n + (n - cut)
-		div, err := replaySnapshot(spec, res, stream, cut, cfg.Seed)
+		div, err := replaySnapshot(spec, res, eng, stream, cut, cfg.Seed)
 		if err != nil {
 			rep.Failures = append(rep.Failures, Failure{
 				App: spec.Name, Oracle: OracleSnapshot, Budget: budget,
@@ -179,7 +180,7 @@ func checkSnapshot(rep *Report, cfg Config, spec AppSpec, res *core.Result, budg
 				if c == 0 {
 					return false
 				}
-				d, err := replaySnapshot(spec, res, s, c, cfg.Seed)
+				d, err := replaySnapshot(spec, res, eng, s, c, cfg.Seed)
 				return err == nil && d != nil
 			})
 			f.Repro = reproNote(spec, cfg, min)
@@ -238,8 +239,8 @@ func layoutVariants() []layoutVariant {
 // replayOutputs runs the stream through a fresh pipeline for the
 // compile result and returns every packet's outputs plus the final
 // register state.
-func replayOutputs(spec AppSpec, res *core.Result, stream []sim.Packet, seed int64) ([]map[string]uint64, *sim.Snapshot, error) {
-	pipe, err := newPipeline(res)
+func replayOutputs(spec AppSpec, res *core.Result, eng sim.Engine, stream []sim.Packet, seed int64) ([]map[string]uint64, *sim.Snapshot, error) {
+	pipe, err := newPipeline(res, eng)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -261,9 +262,9 @@ func replayOutputs(spec AppSpec, res *core.Result, stream []sim.Packet, seed int
 	return outs, pipe.Snapshot(), nil
 }
 
-func checkLayoutInvariance(rep *Report, cfg Config, spec AppSpec, base *core.Result, tgt pisa.Target, budget int, stream []sim.Packet) error {
+func checkLayoutInvariance(rep *Report, cfg Config, eng sim.Engine, spec AppSpec, base *core.Result, tgt pisa.Target, budget int, stream []sim.Packet) error {
 	pinned := pinnedSource(spec.Source, base.Layout)
-	baseOuts, baseRegs, err := replayOutputs(spec, base, stream, cfg.Seed)
+	baseOuts, baseRegs, err := replayOutputs(spec, base, eng, stream, cfg.Seed)
 	if err != nil {
 		return fmt.Errorf("difftest: %s base replay: %w", spec.Name, err)
 	}
@@ -282,7 +283,7 @@ func checkLayoutInvariance(rep *Report, cfg Config, spec AppSpec, base *core.Res
 			})
 			continue
 		}
-		vOuts, vRegs, err := replayOutputs(spec, vres, stream, cfg.Seed)
+		vOuts, vRegs, err := replayOutputs(spec, vres, eng, stream, cfg.Seed)
 		if err != nil {
 			return fmt.Errorf("difftest: %s variant %s replay: %w", spec.Name, v.name, err)
 		}
@@ -305,11 +306,11 @@ func checkLayoutInvariance(rep *Report, cfg Config, spec AppSpec, base *core.Res
 		f := Failure{App: spec.Name, Oracle: OracleLayout, Budget: budget, Detail: detail}
 		if cfg.Shrink && div != nil {
 			min := Shrink(stream, func(s []sim.Packet) bool {
-				a, _, err := replayOutputs(spec, base, s, cfg.Seed)
+				a, _, err := replayOutputs(spec, base, eng, s, cfg.Seed)
 				if err != nil {
 					return false
 				}
-				b, _, err := replayOutputs(spec, vres, s, cfg.Seed)
+				b, _, err := replayOutputs(spec, vres, eng, s, cfg.Seed)
 				if err != nil {
 					return false
 				}
@@ -363,7 +364,111 @@ func diffSnapshots(a, b *sim.Snapshot) string {
 	return ""
 }
 
-// --- oracle 4: migration soundness --------------------------------------
+// --- oracle 4: engine equivalence ---------------------------------------
+
+// replayEngines runs the same stream through the reference interpreter
+// and the compiled plan side by side. Beyond per-packet outputs, the
+// final register state and every Stats counter must agree — the plan's
+// cost model is part of its contract. A plan-compiler fallback is
+// itself a failure (detail non-empty): the suite's apps are all
+// expected to lower.
+func replayEngines(spec AppSpec, res *core.Result, stream []sim.Packet, seed int64) (*divergence, string, error) {
+	interp, err := newPipeline(res, sim.EngineInterp)
+	if err != nil {
+		return nil, "", err
+	}
+	planned, err := newPipeline(res, sim.EnginePlan)
+	if err != nil {
+		return nil, "", err
+	}
+	if ferr := planned.PlanFallback(); ferr != nil {
+		return nil, "plan compiler fell back to the interpreter: " + ferr.Error(), nil
+	}
+	// One golden seeds both pipelines with identical preconditions.
+	golden, err := spec.NewGolden(res.Layout, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := golden.SeedRegisters(interp); err != nil {
+		return nil, "", err
+	}
+	if err := golden.SeedRegisters(planned); err != nil {
+		return nil, "", err
+	}
+	for i, pkt := range stream {
+		want, err := interp.Process(pkt)
+		if err != nil {
+			return nil, "", fmt.Errorf("interp packet %d: %w", i, err)
+		}
+		got, err := planned.Process(pkt)
+		if err != nil {
+			return nil, "", fmt.Errorf("plan packet %d: %w", i, err)
+		}
+		if d := diffOutputs(i, want, got); d != nil {
+			return d, "", nil
+		}
+	}
+	ir, pr := interp.Snapshot(), planned.Snapshot()
+	if d := diffSnapshots(ir, pr); d != "" {
+		return nil, "register end-state: " + d, nil
+	}
+	if d := diffStats(interp.Stats(), planned.Stats()); d != "" {
+		return nil, "stats: " + d, nil
+	}
+	return nil, "", nil
+}
+
+// diffStats compares the full counter set of two executions.
+func diffStats(a, b sim.Stats) string {
+	if a.Packets != b.Packets {
+		return fmt.Sprintf("packets %d vs %d", a.Packets, b.Packets)
+	}
+	if a.RegReads != b.RegReads {
+		return fmt.Sprintf("register reads %d vs %d", a.RegReads, b.RegReads)
+	}
+	if a.RegWrites != b.RegWrites {
+		return fmt.Sprintf("register writes %d vs %d", a.RegWrites, b.RegWrites)
+	}
+	if len(a.ALUOps) != len(b.ALUOps) {
+		return fmt.Sprintf("%d stages vs %d", len(a.ALUOps), len(b.ALUOps))
+	}
+	for i := range a.ALUOps {
+		if a.ALUOps[i] != b.ALUOps[i] {
+			return fmt.Sprintf("stage %d ALU ops %d vs %d", i, a.ALUOps[i], b.ALUOps[i])
+		}
+	}
+	return ""
+}
+
+func checkEngines(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
+	rep.Checks++
+	rep.Packets += 2 * len(stream)
+	div, detail, err := replayEngines(spec, res, stream, cfg.Seed)
+	if err != nil {
+		rep.Failures = append(rep.Failures, Failure{
+			App: spec.Name, Oracle: OracleEngine, Budget: budget,
+			Detail: "replay error: " + err.Error(),
+		})
+		return
+	}
+	if div == nil && detail == "" {
+		return
+	}
+	if detail == "" {
+		detail = "engines diverged: " + div.String()
+	}
+	f := Failure{App: spec.Name, Oracle: OracleEngine, Budget: budget, Detail: detail}
+	if cfg.Shrink && div != nil {
+		min := Shrink(stream, func(s []sim.Packet) bool {
+			d, _, err := replayEngines(spec, res, s, cfg.Seed)
+			return err == nil && d != nil
+		})
+		f.Repro = reproNote(spec, cfg, min)
+	}
+	rep.Failures = append(rep.Failures, f)
+}
+
+// --- oracle 5: migration soundness --------------------------------------
 
 // checkMigration feeds a stream prefix into a sketch shaped by one
 // layout, migrates it to the next layout's shape carrying the window's

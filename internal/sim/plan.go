@@ -1,0 +1,1001 @@
+// Plan compiler: lowers a pipeline's placed steps into a flat
+// executable plan once, at construction time, so the per-packet path
+// never walks the AST, allocates an evaluator, or touches a map.
+//
+//   - Field interning: every header/meta field key the program touches
+//     gets a dense slot index; per-packet state is a reusable []uint64
+//     frame whose slots are invalidated by bumping a generation stamp
+//     instead of clearing maps.
+//   - Expression lowering: each expression tree becomes a fused chain
+//     of closures with constant subtrees folded at compile time,
+//     width-wrap masks precomputed per op, and register/hash accesses
+//     specialized to direct slice indexing.
+//   - Exact equivalence: the interpreter charges one ALU op per
+//     evaluated operator, after operand evaluation, skipping the charge
+//     when a boolean operator short-circuits; folded constants carry
+//     their deferred charge so Stats counters stay bit-identical. The
+//     difftest engine oracle holds the two engines to that contract.
+//
+// Programs the compiler cannot lower (non-constant elastic indexes,
+// constant zero divisors, unknown names) fall back to the interpreter
+// wholesale — see Pipeline.PlanFallback — which also preserves the
+// interpreter's runtime error behavior for those programs.
+
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"p4all/internal/lang"
+)
+
+// exprFn evaluates one compiled expression against a packet frame.
+type exprFn func(fr *frame) uint64
+
+// stmtFn executes one compiled statement against a packet frame.
+type stmtFn func(fr *frame)
+
+// planAbort carries a runtime evaluation error (division or modulo by
+// zero — the only error points a compilable program retains) out of
+// the closure chain; plan.run recovers it into an ordinary error.
+type planAbort struct{ err error }
+
+// The messages match the interpreter's binOp errors exactly.
+var (
+	errDivZero = errors.New("sim: division by zero")
+	errModZero = errors.New("sim: modulo by zero")
+)
+
+// slotRef locates an interned field: its frame slot and whether the
+// field lives in a header struct (header slots are seeded from the
+// incoming packet; meta slots start absent every packet).
+type slotRef struct {
+	slot   int
+	header bool
+}
+
+// plan is the compiled form of a pipeline's steps.
+type plan struct {
+	p         *Pipeline
+	fieldSlot map[string]slotRef
+	// slotKeys maps slot index back to the flattened field key, in
+	// interning order; output assembly walks it.
+	slotKeys []string
+	steps    []planStep
+	// dummyALU absorbs charges from steps placed in stages outside the
+	// Stats slice, mirroring the interpreter's bounds check.
+	dummyALU uint64
+}
+
+type planStep struct {
+	guards []exprFn
+	body   []stmtFn
+}
+
+// frame is the reusable per-packet state: a slot is live iff its stamp
+// equals the current generation, so "clearing" the frame is one
+// increment. Packet keys that are not interned header fields (unknown
+// fields, or keys colliding with meta names, which the interpreter
+// also keeps out of metadata) overflow into the extra key/value pair
+// slices, reused across packets.
+type frame struct {
+	vals   []uint64
+	stamp  []uint64
+	gen    uint64
+	extraK []string
+	extraV []uint64
+}
+
+// run executes the plan for one packet, leaving the outputs readable
+// through the frame (see plan.output and View).
+func (pl *plan) run(fr *frame, pkt Packet) (err error) {
+	pl.p.stats.Packets++
+	fr.gen++
+	fr.extraK = fr.extraK[:0]
+	fr.extraV = fr.extraV[:0]
+	for k, v := range pkt {
+		if sr, ok := pl.fieldSlot[k]; ok && sr.header {
+			fr.vals[sr.slot] = v
+			fr.stamp[sr.slot] = fr.gen
+		} else {
+			fr.extraK = append(fr.extraK, k)
+			fr.extraV = append(fr.extraV, v)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(planAbort)
+			if !ok {
+				panic(r)
+			}
+			err = a.err
+		}
+	}()
+	for i := range pl.steps {
+		st := &pl.steps[i]
+		skip := false
+		for _, g := range st.guards {
+			if g(fr) == 0 {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		for _, f := range st.body {
+			f(fr)
+		}
+	}
+	return nil
+}
+
+// output materializes the frame as the map Process returns: live slots
+// first, then overflow keys — except where a live meta slot shadows a
+// same-named packet key, matching the interpreter's header-then-meta
+// merge order.
+func (pl *plan) output(fr *frame) map[string]uint64 {
+	out := make(map[string]uint64, len(pl.slotKeys)+len(fr.extraK))
+	for s, key := range pl.slotKeys {
+		if fr.stamp[s] == fr.gen {
+			out[key] = fr.vals[s]
+		}
+	}
+	for i, k := range fr.extraK {
+		if sr, ok := pl.fieldSlot[k]; ok && fr.stamp[sr.slot] == fr.gen {
+			continue
+		}
+		out[k] = fr.extraV[i]
+	}
+	return out
+}
+
+// --- compilation ---------------------------------------------------------
+
+// compilePlan lowers every placed step. Any unsupported construct
+// aborts the whole compilation; the caller keeps the interpreter.
+func compilePlan(p *Pipeline) (*plan, error) {
+	pl := &plan{p: p, fieldSlot: make(map[string]slotRef)}
+	c := &planCompiler{p: p, pl: pl}
+	for _, st := range p.steps {
+		ps, err := c.compileStep(st)
+		if err != nil {
+			return nil, err
+		}
+		pl.steps = append(pl.steps, ps)
+	}
+	return pl, nil
+}
+
+type planCompiler struct {
+	p  *Pipeline
+	pl *plan
+}
+
+// slotFor interns a field key.
+func (c *planCompiler) slotFor(key string, header bool) int {
+	if sr, ok := c.pl.fieldSlot[key]; ok {
+		return sr.slot
+	}
+	slot := len(c.pl.slotKeys)
+	c.pl.fieldSlot[key] = slotRef{slot: slot, header: header}
+	c.pl.slotKeys = append(c.pl.slotKeys, key)
+	return slot
+}
+
+// stepCtx is the compile-time counterpart of the interpreter's
+// evaluator: one action instance with its iteration index pinned, plus
+// the counters its closures charge.
+type stepCtx struct {
+	c       *planCompiler
+	action  *lang.Action
+	iter    int
+	loopVar string
+	alu     *uint64 // this step's stage counter (or plan.dummyALU)
+	reads   *uint64
+	writes  *uint64
+}
+
+func (c *planCompiler) compileStep(st step) (planStep, error) {
+	loopVar := ""
+	if l := st.inv.Loop(); l != nil {
+		loopVar = l.Var
+	}
+	alu := &c.pl.dummyALU
+	if st.stage >= 0 && st.stage < len(c.p.stats.ALUOps) {
+		alu = &c.p.stats.ALUOps[st.stage]
+	}
+	ctx := &stepCtx{
+		c: c, action: st.inv.Action, iter: st.iter, loopVar: loopVar,
+		alu: alu, reads: &c.p.stats.RegReads, writes: &c.p.stats.RegWrites,
+	}
+	var ps planStep
+	for _, g := range st.inv.Guards {
+		ge, err := ctx.compileExpr(g)
+		if err != nil {
+			return planStep{}, err
+		}
+		ps.guards = append(ps.guards, ctx.materialize(ge))
+	}
+	body, err := ctx.compileBlock(st.inv.Action.Decl.Body)
+	if err != nil {
+		return planStep{}, err
+	}
+	ps.body = body
+	return ps, nil
+}
+
+// cexpr is a compiled expression: a closure (fn != nil), or a
+// compile-time constant val whose folded subtree would have charged
+// cost ALU ops — the charge is deferred to wherever the constant is
+// materialized, keeping Stats identical to the interpreter. Folding a
+// subtree that can abort mid-evaluation is never attempted (constant
+// zero divisors reject the whole plan), so the atomic deferred charge
+// is observationally equivalent.
+type cexpr struct {
+	fn    exprFn
+	val   uint64
+	width int
+	cost  int
+}
+
+func (e cexpr) isConst() bool { return e.fn == nil }
+
+// materialize turns a compiled expression into a closure, realizing a
+// constant's deferred ALU charge at its evaluation point.
+func (ctx *stepCtx) materialize(e cexpr) exprFn {
+	if e.fn != nil {
+		return e.fn
+	}
+	v := e.val
+	if e.cost > 0 {
+		alu, n := ctx.alu, uint64(e.cost)
+		return func(fr *frame) uint64 { *alu += n; return v }
+	}
+	return func(*frame) uint64 { return v }
+}
+
+func b2u(ok bool) uint64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+func (ctx *stepCtx) compileExpr(e lang.Expr) (cexpr, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return cexpr{val: uint64(e.Value)}, nil
+	case *lang.BoolLit:
+		return cexpr{val: b2u(e.Value)}, nil
+	case *lang.Unary:
+		return ctx.compileUnary(e)
+	case *lang.Binary:
+		return ctx.compileBinary(e)
+	case *lang.CallExpr:
+		return ctx.compileCall(e)
+	case *lang.Ref:
+		return ctx.compileLoad(e)
+	default:
+		return cexpr{}, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+func (ctx *stepCtx) compileUnary(e *lang.Unary) (cexpr, error) {
+	x, err := ctx.compileExpr(e.X)
+	if err != nil {
+		return cexpr{}, err
+	}
+	alu := ctx.alu
+	switch e.Op {
+	case lang.MINUS:
+		w := x.width
+		mask := widthMask(w)
+		if x.isConst() {
+			return cexpr{val: (-x.val) & mask, width: w, cost: x.cost + 1}, nil
+		}
+		xf := x.fn
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			v := xf(fr)
+			*alu++
+			return (-v) & mask
+		}}, nil
+	case lang.NOT:
+		if x.isConst() {
+			return cexpr{val: b2u(x.val == 0), cost: x.cost + 1}, nil
+		}
+		xf := x.fn
+		return cexpr{fn: func(fr *frame) uint64 {
+			v := xf(fr)
+			*alu++
+			return b2u(v == 0)
+		}}, nil
+	}
+	return cexpr{}, fmt.Errorf("plan: unsupported unary %s", e.Op)
+}
+
+func (ctx *stepCtx) compileBinary(e *lang.Binary) (cexpr, error) {
+	x, err := ctx.compileExpr(e.X)
+	if err != nil {
+		return cexpr{}, err
+	}
+	if e.Op == lang.AND || e.Op == lang.OR {
+		return ctx.compileBool(e.Op, x, e.Y)
+	}
+	y, err := ctx.compileExpr(e.Y)
+	if err != nil {
+		return cexpr{}, err
+	}
+	switch e.Op {
+	case lang.PLUS, lang.MINUS, lang.STAR, lang.SLASH, lang.PCT:
+		return ctx.compileArith(e.Op, x, y)
+	case lang.LT, lang.LE, lang.GT, lang.GE, lang.EQ, lang.NE:
+		return ctx.compileCompare(e.Op, x, y)
+	}
+	return cexpr{}, fmt.Errorf("plan: unsupported operator %s", e.Op)
+}
+
+// compileArith lowers +, -, *, /, % with the result wrapped at the
+// combined operand width, exactly as the interpreter's exprW does.
+func (ctx *stepCtx) compileArith(op lang.Kind, x, y cexpr) (cexpr, error) {
+	w := combineWidth(x.width, y.width)
+	mask := widthMask(w)
+	alu := ctx.alu
+	if x.isConst() && y.isConst() {
+		v, err := binOp(op, x.val, y.val)
+		if err != nil {
+			// Constant zero divisor: reject the plan so the interpreter
+			// reports the error per packet as before.
+			return cexpr{}, fmt.Errorf("plan: constant fold: %w", err)
+		}
+		return cexpr{val: v & mask, width: w, cost: x.cost + y.cost + 1}, nil
+	}
+	if op == lang.SLASH || op == lang.PCT {
+		if y.isConst() {
+			if y.val == 0 {
+				return cexpr{}, fmt.Errorf("plan: constant zero divisor")
+			}
+			xf := ctx.materialize(x)
+			d := y.val
+			// The divisor's folded charge lands with the op charge:
+			// nothing observable can intervene.
+			n := uint64(y.cost + 1)
+			if op == lang.SLASH {
+				return cexpr{width: w, fn: func(fr *frame) uint64 {
+					a := xf(fr)
+					*alu += n
+					return (a / d) & mask
+				}}, nil
+			}
+			return cexpr{width: w, fn: func(fr *frame) uint64 {
+				a := xf(fr)
+				*alu += n
+				return (a % d) & mask
+			}}, nil
+		}
+		xf, yf := ctx.materialize(x), ctx.materialize(y)
+		abort := planAbort{errDivZero}
+		if op == lang.PCT {
+			abort = planAbort{errModZero}
+		}
+		if op == lang.SLASH {
+			return cexpr{width: w, fn: func(fr *frame) uint64 {
+				a := xf(fr)
+				b := yf(fr)
+				*alu++
+				if b == 0 {
+					panic(abort)
+				}
+				return (a / b) & mask
+			}}, nil
+		}
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			if b == 0 {
+				panic(abort)
+			}
+			return (a % b) & mask
+		}}, nil
+	}
+	xf, yf := ctx.materialize(x), ctx.materialize(y)
+	switch op {
+	case lang.PLUS:
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return (a + b) & mask
+		}}, nil
+	case lang.MINUS:
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return (a - b) & mask
+		}}, nil
+	default: // lang.STAR
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return (a * b) & mask
+		}}, nil
+	}
+}
+
+func (ctx *stepCtx) compileCompare(op lang.Kind, x, y cexpr) (cexpr, error) {
+	alu := ctx.alu
+	if x.isConst() && y.isConst() {
+		v, err := binOp(op, x.val, y.val)
+		if err != nil {
+			return cexpr{}, err
+		}
+		return cexpr{val: v, cost: x.cost + y.cost + 1}, nil
+	}
+	xf, yf := ctx.materialize(x), ctx.materialize(y)
+	switch op {
+	case lang.LT:
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a < b)
+		}}, nil
+	case lang.LE:
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a <= b)
+		}}, nil
+	case lang.GT:
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a > b)
+		}}, nil
+	case lang.GE:
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a >= b)
+		}}, nil
+	case lang.EQ:
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a == b)
+		}}, nil
+	default: // lang.NE
+		return cexpr{fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return b2u(a != b)
+		}}, nil
+	}
+}
+
+// compileBool lowers && and || with the interpreter's short-circuit
+// contract: a deciding left operand skips both the right operand and
+// the operator's ALU charge.
+func (ctx *stepCtx) compileBool(op lang.Kind, x cexpr, ye lang.Expr) (cexpr, error) {
+	alu := ctx.alu
+	if x.isConst() {
+		if (op == lang.AND && x.val == 0) || (op == lang.OR && x.val != 0) {
+			return cexpr{val: b2u(op == lang.OR), cost: x.cost}, nil
+		}
+		y, err := ctx.compileExpr(ye)
+		if err != nil {
+			return cexpr{}, err
+		}
+		if y.isConst() {
+			return cexpr{val: b2u(y.val != 0), cost: x.cost + y.cost + 1}, nil
+		}
+		yf := y.fn
+		if x.cost > 0 {
+			n := uint64(x.cost)
+			return cexpr{fn: func(fr *frame) uint64 {
+				*alu += n
+				v := yf(fr)
+				*alu++
+				return b2u(v != 0)
+			}}, nil
+		}
+		return cexpr{fn: func(fr *frame) uint64 {
+			v := yf(fr)
+			*alu++
+			return b2u(v != 0)
+		}}, nil
+	}
+	y, err := ctx.compileExpr(ye)
+	if err != nil {
+		return cexpr{}, err
+	}
+	xf, yf := x.fn, ctx.materialize(y)
+	if op == lang.AND {
+		return cexpr{fn: func(fr *frame) uint64 {
+			if xf(fr) == 0 {
+				return 0
+			}
+			v := yf(fr)
+			*alu++
+			return b2u(v != 0)
+		}}, nil
+	}
+	return cexpr{fn: func(fr *frame) uint64 {
+		if xf(fr) != 0 {
+			return 1
+		}
+		v := yf(fr)
+		*alu++
+		return b2u(v != 0)
+	}}, nil
+}
+
+func (ctx *stepCtx) compileCall(e *lang.CallExpr) (cexpr, error) {
+	if len(e.Args) != 2 {
+		return cexpr{}, fmt.Errorf("plan: builtin %s with %d args", e.Name, len(e.Args))
+	}
+	x, err := ctx.compileExpr(e.Args[0])
+	if err != nil {
+		return cexpr{}, err
+	}
+	y, err := ctx.compileExpr(e.Args[1])
+	if err != nil {
+		return cexpr{}, err
+	}
+	alu := ctx.alu
+	switch e.Name {
+	case "hash":
+		if x.isConst() && y.isConst() {
+			return cexpr{val: hashUint(x.val, y.val), width: 64, cost: x.cost + y.cost + 1}, nil
+		}
+		xf, yf := ctx.materialize(x), ctx.materialize(y)
+		return cexpr{width: 64, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			return hashUint(a, b)
+		}}, nil
+	case "min", "max":
+		w := combineWidth(x.width, y.width)
+		if x.isConst() && y.isConst() {
+			v := x.val
+			if (e.Name == "min") != (x.val < y.val) {
+				v = y.val
+			}
+			return cexpr{val: v, width: w, cost: x.cost + y.cost + 1}, nil
+		}
+		xf, yf := ctx.materialize(x), ctx.materialize(y)
+		if e.Name == "min" {
+			return cexpr{width: w, fn: func(fr *frame) uint64 {
+				a := xf(fr)
+				b := yf(fr)
+				*alu++
+				if a < b {
+					return a
+				}
+				return b
+			}}, nil
+		}
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			a := xf(fr)
+			b := yf(fr)
+			*alu++
+			if a > b {
+				return a
+			}
+			return b
+		}}, nil
+	}
+	return cexpr{}, fmt.Errorf("plan: unknown builtin %s", e.Name)
+}
+
+// compileLoad mirrors the interpreter's load: simple identifiers
+// resolve to compile-time constants, then registers, then struct
+// fields.
+func (ctx *stepCtx) compileLoad(ref *lang.Ref) (cexpr, error) {
+	u := ctx.c.p.unit
+	base := ref.Base()
+	if ref.IsSimpleIdent() {
+		if ctx.action.Decl != nil && base == ctx.action.Decl.IndexParam {
+			return cexpr{val: uint64(ctx.iter)}, nil
+		}
+		if ctx.loopVar != "" && base == ctx.loopVar {
+			return cexpr{val: uint64(ctx.iter)}, nil
+		}
+		if sym := u.SymbolicByName(base); sym != nil {
+			return cexpr{val: uint64(ctx.c.p.layout.Symbolics[sym.Name])}, nil
+		}
+		if v, ok := u.Consts[base]; ok {
+			return cexpr{val: uint64(v)}, nil
+		}
+		return cexpr{}, fmt.Errorf("plan: unknown name %s", base)
+	}
+	if reg := u.RegisterByName(base); reg != nil {
+		return ctx.compileRegLoad(ref, reg)
+	}
+	if si := u.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		return ctx.compileFieldLoad(ref, si)
+	}
+	return cexpr{}, fmt.Errorf("plan: cannot read %s", lang.PrintExpr(ref))
+}
+
+// compileRegTarget resolves a register reference to a compile-time
+// instance index plus a compiled cell expression. The instance index
+// must be constant (it always is: the module library indexes instances
+// by the iteration parameter); instCost carries the ALU ops the
+// interpreter would charge evaluating it.
+func (ctx *stepCtx) compileRegTarget(ref *lang.Ref, reg *lang.Register) (inst int, instCost int, cell cexpr, err error) {
+	seg := ref.Segs[0]
+	if reg.Decl.Count != nil && len(seg.Indexes) == 2 {
+		ie, err := ctx.compileExpr(seg.Indexes[0])
+		if err != nil {
+			return 0, 0, cexpr{}, err
+		}
+		if !ie.isConst() {
+			return 0, 0, cexpr{}, fmt.Errorf("plan: register %s instance index is not compile-time constant", reg.Name)
+		}
+		ce, err := ctx.compileExpr(seg.Indexes[1])
+		if err != nil {
+			return 0, 0, cexpr{}, err
+		}
+		return int(ie.val), ie.cost, ce, nil
+	}
+	if len(seg.Indexes) == 1 {
+		ce, err := ctx.compileExpr(seg.Indexes[0])
+		if err != nil {
+			return 0, 0, cexpr{}, err
+		}
+		return 0, 0, ce, nil
+	}
+	return 0, 0, cexpr{}, fmt.Errorf("plan: malformed register access %s", lang.PrintExpr(ref))
+}
+
+func (ctx *stepCtx) compileRegLoad(ref *lang.Ref, reg *lang.Register) (cexpr, error) {
+	inst, instCost, cellE, err := ctx.compileRegTarget(ref, reg)
+	if err != nil {
+		return cexpr{}, err
+	}
+	alu, reads := ctx.alu, ctx.reads
+	store, ok := ctx.c.p.Register(reg.Name, inst)
+	if !ok {
+		// Instance not materialized in this layout: the read yields
+		// zero and charges no register access, but the index
+		// expressions still evaluate — and charge — as in the
+		// interpreter.
+		if cellE.isConst() {
+			return cexpr{val: 0, width: reg.Width, cost: instCost + cellE.cost}, nil
+		}
+		cellF := cellE.fn
+		if instCost > 0 {
+			n := uint64(instCost)
+			return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+				*alu += n
+				cellF(fr)
+				return 0
+			}}, nil
+		}
+		return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+			cellF(fr)
+			return 0
+		}}, nil
+	}
+	n := uint64(len(store))
+	if n == 0 {
+		return cexpr{}, fmt.Errorf("plan: register %s/%d has no cells", reg.Name, inst)
+	}
+	if cellE.isConst() {
+		cell := cellE.val
+		if cell >= n {
+			cell %= n
+		}
+		idx := int(cell)
+		if pre := uint64(instCost + cellE.cost); pre > 0 {
+			return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+				*alu += pre
+				*reads++
+				return store[idx]
+			}}, nil
+		}
+		return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+			*reads++
+			return store[idx]
+		}}, nil
+	}
+	cellF := cellE.fn
+	if instCost > 0 {
+		pre := uint64(instCost)
+		return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+			*alu += pre
+			cell := cellF(fr)
+			if cell >= n {
+				cell %= n
+			}
+			*reads++
+			return store[cell]
+		}}, nil
+	}
+	return cexpr{width: reg.Width, fn: func(fr *frame) uint64 {
+		cell := cellF(fr)
+		if cell >= n {
+			cell %= n
+		}
+		*reads++
+		return store[cell]
+	}}, nil
+}
+
+// fieldKey interns the storage key of a struct-field reference. An
+// elastic field's instance index must be compile-time constant for the
+// plan (the module library always indexes by the iteration parameter);
+// idxCost carries the ALU ops the interpreter charges evaluating it.
+func (ctx *stepCtx) fieldKey(ref *lang.Ref, f *lang.MetaField) (key string, idxCost int, err error) {
+	qual := f.Qual()
+	if !f.Count.IsSymbolic() && f.Count.Const <= 1 {
+		return qual, 0, nil
+	}
+	fseg := ref.Segs[1]
+	if len(fseg.Indexes) != 1 {
+		return "", 0, fmt.Errorf("plan: elastic field %s needs one index", qual)
+	}
+	ie, err := ctx.compileExpr(fseg.Indexes[0])
+	if err != nil {
+		return "", 0, err
+	}
+	if !ie.isConst() {
+		return "", 0, fmt.Errorf("plan: elastic field %s index is not compile-time constant", qual)
+	}
+	return instKey(qual, ie.val), ie.cost, nil
+}
+
+func (ctx *stepCtx) compileFieldLoad(ref *lang.Ref, si *lang.StructInfo) (cexpr, error) {
+	f := si.Field(ref.Segs[1].Name)
+	if f == nil {
+		return cexpr{}, fmt.Errorf("plan: unknown field %s", lang.PrintExpr(ref))
+	}
+	key, idxCost, err := ctx.fieldKey(ref, f)
+	if err != nil {
+		return cexpr{}, err
+	}
+	slot := ctx.c.slotFor(key, si.IsHeader)
+	alu := ctx.alu
+	w := f.Width
+	if si.IsHeader {
+		// Header loads mask the slot value: the packet may carry a
+		// wider value than the declared field width.
+		mask := widthMask(w)
+		if idxCost > 0 {
+			n := uint64(idxCost)
+			return cexpr{width: w, fn: func(fr *frame) uint64 {
+				*alu += n
+				if fr.stamp[slot] == fr.gen {
+					return fr.vals[slot] & mask
+				}
+				return 0
+			}}, nil
+		}
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			if fr.stamp[slot] == fr.gen {
+				return fr.vals[slot] & mask
+			}
+			return 0
+		}}, nil
+	}
+	// Meta slots only ever hold store-masked values; loads are unmasked.
+	if idxCost > 0 {
+		n := uint64(idxCost)
+		return cexpr{width: w, fn: func(fr *frame) uint64 {
+			*alu += n
+			if fr.stamp[slot] == fr.gen {
+				return fr.vals[slot]
+			}
+			return 0
+		}}, nil
+	}
+	return cexpr{width: w, fn: func(fr *frame) uint64 {
+		if fr.stamp[slot] == fr.gen {
+			return fr.vals[slot]
+		}
+		return 0
+	}}, nil
+}
+
+// --- statements ----------------------------------------------------------
+
+func (ctx *stepCtx) compileBlock(b *lang.Block) ([]stmtFn, error) {
+	var out []stmtFn
+	for _, s := range b.Stmts {
+		fns, err := ctx.compileStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fns...)
+	}
+	return out, nil
+}
+
+func (ctx *stepCtx) compileStmt(s lang.Stmt) ([]stmtFn, error) {
+	switch s := s.(type) {
+	case *lang.Block:
+		return ctx.compileBlock(s)
+	case *lang.AssignStmt:
+		fn, err := ctx.compileAssign(s)
+		if err != nil {
+			return nil, err
+		}
+		return []stmtFn{fn}, nil
+	case *lang.IfStmt:
+		return ctx.compileIf(s)
+	default:
+		return nil, fmt.Errorf("plan: unsupported statement %T in action %s", s, ctx.action.Name)
+	}
+}
+
+func (ctx *stepCtx) compileIf(s *lang.IfStmt) ([]stmtFn, error) {
+	cond, err := ctx.compileExpr(s.Cond)
+	if err != nil {
+		return nil, err
+	}
+	thenB, err := ctx.compileBlock(s.Then)
+	if err != nil {
+		return nil, err
+	}
+	var elseB []stmtFn
+	if s.Else != nil {
+		if elseB, err = ctx.compileBlock(s.Else); err != nil {
+			return nil, err
+		}
+	}
+	if cond.isConst() {
+		// Dead-branch elimination; the live branch inlines into the
+		// parent, with the condition's per-packet charge preserved.
+		body := thenB
+		if cond.val == 0 {
+			body = elseB
+		}
+		if cond.cost > 0 {
+			alu, n := ctx.alu, uint64(cond.cost)
+			return []stmtFn{func(fr *frame) {
+				*alu += n
+				for _, f := range body {
+					f(fr)
+				}
+			}}, nil
+		}
+		return body, nil
+	}
+	cf := cond.fn
+	return []stmtFn{func(fr *frame) {
+		if cf(fr) != 0 {
+			for _, f := range thenB {
+				f(fr)
+			}
+		} else {
+			for _, f := range elseB {
+				f(fr)
+			}
+		}
+	}}, nil
+}
+
+func (ctx *stepCtx) compileAssign(s *lang.AssignStmt) (stmtFn, error) {
+	rhs, err := ctx.compileExpr(s.RHS)
+	if err != nil {
+		return nil, err
+	}
+	u := ctx.c.p.unit
+	ref := s.LHS
+	base := ref.Base()
+	if reg := u.RegisterByName(base); reg != nil {
+		return ctx.compileRegStore(ref, reg, rhs)
+	}
+	if si := u.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		f := si.Field(ref.Segs[1].Name)
+		if f == nil {
+			return nil, fmt.Errorf("plan: unknown field %s", lang.PrintExpr(ref))
+		}
+		key, idxCost, err := ctx.fieldKey(ref, f)
+		if err != nil {
+			return nil, err
+		}
+		slot := ctx.c.slotFor(key, si.IsHeader)
+		mask := widthMask(f.Width)
+		rf := ctx.materialize(rhs)
+		if idxCost > 0 {
+			alu, n := ctx.alu, uint64(idxCost)
+			return func(fr *frame) {
+				v := rf(fr)
+				*alu += n
+				fr.vals[slot] = v & mask
+				fr.stamp[slot] = fr.gen
+			}, nil
+		}
+		return func(fr *frame) {
+			fr.vals[slot] = rf(fr) & mask
+			fr.stamp[slot] = fr.gen
+		}, nil
+	}
+	return nil, fmt.Errorf("plan: cannot assign to %s", lang.PrintExpr(ref))
+}
+
+func (ctx *stepCtx) compileRegStore(ref *lang.Ref, reg *lang.Register, rhs cexpr) (stmtFn, error) {
+	inst, instCost, cellE, err := ctx.compileRegTarget(ref, reg)
+	if err != nil {
+		return nil, err
+	}
+	rf := ctx.materialize(rhs)
+	alu, writes := ctx.alu, ctx.writes
+	store, ok := ctx.c.p.Register(reg.Name, inst)
+	if !ok {
+		// Non-materialized instance: the write is a no-op, but the RHS
+		// and index expressions still evaluate (and charge).
+		cellF := ctx.materialize(cellE)
+		if instCost > 0 {
+			n := uint64(instCost)
+			return func(fr *frame) {
+				rf(fr)
+				*alu += n
+				cellF(fr)
+			}, nil
+		}
+		return func(fr *frame) {
+			rf(fr)
+			cellF(fr)
+		}, nil
+	}
+	n := uint64(len(store))
+	if n == 0 {
+		return nil, fmt.Errorf("plan: register %s/%d has no cells", reg.Name, inst)
+	}
+	mask := widthMask(reg.Width)
+	if cellE.isConst() {
+		cell := cellE.val
+		if cell >= n {
+			cell %= n
+		}
+		idx := int(cell)
+		if pre := uint64(instCost + cellE.cost); pre > 0 {
+			return func(fr *frame) {
+				v := rf(fr)
+				*alu += pre
+				store[idx] = v & mask
+				*writes++
+			}, nil
+		}
+		return func(fr *frame) {
+			store[idx] = rf(fr) & mask
+			*writes++
+		}, nil
+	}
+	cellF := cellE.fn
+	if instCost > 0 {
+		pre := uint64(instCost)
+		return func(fr *frame) {
+			v := rf(fr)
+			*alu += pre
+			cell := cellF(fr)
+			if cell >= n {
+				cell %= n
+			}
+			store[cell] = v & mask
+			*writes++
+		}, nil
+	}
+	return func(fr *frame) {
+		v := rf(fr)
+		cell := cellF(fr)
+		if cell >= n {
+			cell %= n
+		}
+		store[cell] = v & mask
+		*writes++
+	}, nil
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"p4all/internal/core"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+	"p4all/internal/workload"
+)
+
+// compileBoth builds a plan-engine and an interp-engine pipeline for
+// the same source, asserting the plan engine did not silently fall
+// back.
+func compileBoth(t *testing.T, src string, tgt pisa.Target) (*Pipeline, *Pipeline) {
+	t.Helper()
+	res, err := core.Compile(src, tgt, core.Options{SkipCodegen: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	plan, err := NewEngine(res.Unit, res.Layout, EnginePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EngineName() != "plan" {
+		t.Fatalf("plan compiler fell back: %v", plan.PlanFallback())
+	}
+	interp, err := NewEngine(res.Unit, res.Layout, EngineInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.EngineName() != "interp" {
+		t.Fatal("EngineInterp built a plan")
+	}
+	return plan, interp
+}
+
+func simTestTarget() pisa.Target {
+	return pisa.Target{
+		Name: "plan-test", Stages: 6, MemoryBits: 1 << 15,
+		StatefulALUs: 2, StatelessALUs: 8, PHVBits: 4096,
+	}
+}
+
+// assertSameOutputs compares two output maps exactly (both directions).
+func assertSameOutputs(t *testing.T, i int, plan, interp map[string]uint64) {
+	t.Helper()
+	for k, v := range interp {
+		if pv, ok := plan[k]; !ok || pv != v {
+			t.Fatalf("packet %d field %s: plan %d (present=%v), interp %d", i, k, pv, ok, v)
+		}
+	}
+	for k := range plan {
+		if _, ok := interp[k]; !ok {
+			t.Fatalf("packet %d: plan emitted extra field %s = %d", i, k, plan[k])
+		}
+	}
+}
+
+// TestPlanMatchesInterpreterOnCMS replays a zipf stream through both
+// engines and demands identical outputs, register state, and stats —
+// the sim-level slice of difftest's engine oracle.
+func TestPlanMatchesInterpreterOnCMS(t *testing.T) {
+	plan, interp := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	keys := workload.ZipfKeys(5, 300, 1.05, 2500)
+	for i, k := range keys {
+		// Include an undeclared field so the overflow path is covered.
+		pkt := Packet{"pkt.flow": k, "pkt.unknown": k ^ 0xABCD}
+		a, err := plan.Process(pkt)
+		if err != nil {
+			t.Fatalf("plan packet %d: %v", i, err)
+		}
+		b, err := interp.Process(pkt)
+		if err != nil {
+			t.Fatalf("interp packet %d: %v", i, err)
+		}
+		assertSameOutputs(t, i, a, b)
+	}
+	sa, sb := plan.Stats(), interp.Stats()
+	if sa.Packets != sb.Packets || sa.RegReads != sb.RegReads || sa.RegWrites != sb.RegWrites {
+		t.Fatalf("counter mismatch: plan %+v, interp %+v", sa, sb)
+	}
+	for i := range sa.ALUOps {
+		if sa.ALUOps[i] != sb.ALUOps[i] {
+			t.Fatalf("stage %d ALU ops: plan %d, interp %d", i, sa.ALUOps[i], sb.ALUOps[i])
+		}
+	}
+	snapA, snapB := plan.Snapshot(), interp.Snapshot()
+	for name, insts := range snapA.Regs {
+		for i := range insts {
+			for c := range insts[i] {
+				if insts[i][c] != snapB.Regs[name][i][c] {
+					t.Fatalf("register %s/%d cell %d: plan %d, interp %d",
+						name, i, c, insts[i][c], snapB.Regs[name][i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayMatchesProcess checks the batched API against per-packet
+// Process on a fresh pipeline: View.Get, View.Map, and output
+// presence/absence must agree.
+func TestReplayMatchesProcess(t *testing.T) {
+	plan, _ := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	ref, _ := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	keys := workload.ZipfKeys(9, 100, 1.0, 500)
+	pkts := make([]Packet, len(keys))
+	for i, k := range keys {
+		pkts[i] = Packet{"pkt.flow": k}
+	}
+	minKey := Key("cms_meta.min", -1)
+	err := plan.Replay(pkts, func(i int, v View) error {
+		want, err := ref.Process(pkts[i])
+		if err != nil {
+			return err
+		}
+		got, ok := v.Get(minKey)
+		if !ok {
+			t.Fatalf("packet %d: %s missing from view", i, minKey)
+		}
+		if got != want[minKey] {
+			t.Fatalf("packet %d: view %s = %d, Process %d", i, minKey, got, want[minKey])
+		}
+		if _, ok := v.Get("no.such.field"); ok {
+			t.Fatalf("packet %d: view invented a field", i)
+		}
+		assertSameOutputs(t, i, v.Map(), want)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayZeroAllocs is the acceptance criterion's steady-state
+// check: a full plan-engine replay must not allocate.
+func TestReplayZeroAllocs(t *testing.T) {
+	plan, _ := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	keys := workload.ZipfKeys(2, 500, 1.1, 256)
+	pkts := make([]Packet, len(keys))
+	for i, k := range keys {
+		pkts[i] = Packet{"pkt.flow": k}
+	}
+	minKey := Key("cms_meta.min", -1)
+	var sum uint64
+	sink := func(i int, v View) error {
+		val, _ := v.Get(minKey)
+		sum += val
+		return nil
+	}
+	// Warm up once so lazily-grown internal state settles.
+	if err := plan.Replay(pkts, sink); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := plan.Replay(pkts, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("plan replay allocated %.1f objects per run, want 0", allocs)
+	}
+	_ = sum
+}
+
+// TestPlanStaleStateInvisible replays a packet that sets fields, then
+// one that does not; the second packet must not see or emit the
+// first's values (the generation stamp is the only thing clearing the
+// frame).
+func TestPlanStaleStateInvisible(t *testing.T) {
+	plan, interp := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	out1, err := plan.Process(Packet{"pkt.flow": 7, "stray.key": 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out1["stray.key"]; !ok {
+		t.Fatal("first packet's stray field missing from output")
+	}
+	out2, err := plan.Process(Packet{"pkt.flow": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out2["stray.key"]; ok {
+		t.Fatal("stray field from packet 1 leaked into packet 2's output")
+	}
+	// And the reference engine agrees on the second packet.
+	if _, err := interp.Process(Packet{"pkt.flow": 7, "stray.key": 99}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := interp.Process(Packet{"pkt.flow": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutputs(t, 1, out2, want)
+}
+
+// TestPlanDivisionByZeroParity: a dynamic zero divisor must surface
+// the interpreter's exact error from the compiled plan.
+func TestPlanDivisionByZeroParity(t *testing.T) {
+	src := `
+header hdr { bit<32> a; bit<32> b; }
+struct meta { bit<32> q; }
+action div() { meta.q = hdr.a / hdr.b; }
+control main { apply { div(); } }
+`
+	res, err := core.Compile(src, pisa.RunningExampleTarget(), core.Options{SkipCodegen: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	plan, err := NewEngine(res.Unit, res.Layout, EnginePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := NewEngine(res.Unit, res.Layout, EngineInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errP := plan.Process(Packet{"hdr.a": 10, "hdr.b": 0})
+	_, errI := interp.Process(Packet{"hdr.a": 10, "hdr.b": 0})
+	if (errP == nil) != (errI == nil) {
+		t.Fatalf("error parity broken: plan=%v interp=%v", errP, errI)
+	}
+	if errP != nil && errP.Error() != errI.Error() {
+		t.Fatalf("error text differs: plan %q, interp %q", errP, errI)
+	}
+	// Both engines must agree on stats even across the abort.
+	sp, si := plan.Stats(), interp.Stats()
+	if sp.Packets != si.Packets || sp.TotalALUOps() != si.TotalALUOps() {
+		t.Fatalf("post-abort stats differ: plan %+v, interp %+v", sp, si)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	if e, err := ParseEngine("plan"); err != nil || e != EnginePlan {
+		t.Fatalf("ParseEngine(plan) = %v, %v", e, err)
+	}
+	if e, err := ParseEngine("interp"); err != nil || e != EngineInterp {
+		t.Fatalf("ParseEngine(interp) = %v, %v", e, err)
+	}
+	if _, err := ParseEngine("jit"); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("ParseEngine(jit) error = %v", err)
+	}
+	if EnginePlan.String() != "plan" || EngineInterp.String() != "interp" {
+		t.Fatal("Engine.String spelling drifted from ParseEngine")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if got := Key("meta.count", 12); got != "meta.count@12" {
+		t.Fatalf("Key = %q", got)
+	}
+	if got := Key("cms_meta.min", -1); got != "cms_meta.min" {
+		t.Fatalf("scalar Key = %q", got)
+	}
+	if got := instKey("m.f", 0); got != "m.f@0" {
+		t.Fatalf("instKey zero = %q", got)
+	}
+}
+
+// TestInterpReplayFallback: the batched API must work (with per-packet
+// maps) when the interpreter runs.
+func TestInterpReplayFallback(t *testing.T) {
+	_, interp := compileBoth(t, modules.StandaloneCMS(), simTestTarget())
+	pkts := []Packet{{"pkt.flow": 1}, {"pkt.flow": 1}}
+	minKey := Key("cms_meta.min", -1)
+	var last uint64
+	if err := interp.Replay(pkts, func(i int, v View) error {
+		val, ok := v.Get(minKey)
+		if !ok {
+			t.Fatalf("packet %d: %s missing", i, minKey)
+		}
+		last = val
+		if mv := v.Map(); mv[minKey] != val {
+			t.Fatalf("packet %d: Map and Get disagree", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last != 2 {
+		t.Fatalf("second estimate = %d, want 2", last)
+	}
+}

@@ -1,0 +1,145 @@
+// Engine selection and the batched replay API over the compiled plan.
+
+package sim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Engine selects a Pipeline's execution strategy.
+type Engine uint8
+
+const (
+	// EnginePlan (the default) compiles the layout into a flat closure
+	// plan at construction time; programs the plan compiler cannot
+	// lower fall back to the interpreter (see Pipeline.PlanFallback).
+	EnginePlan Engine = iota
+	// EngineInterp forces the reference AST interpreter.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	if e == EngineInterp {
+		return "interp"
+	}
+	return "plan"
+}
+
+// ParseEngine maps the CLI spelling of an engine to its value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "plan":
+		return EnginePlan, nil
+	case "interp":
+		return EngineInterp, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want plan or interp)", s)
+}
+
+// EngineName reports which engine actually executes this pipeline:
+// "plan" or "interp" (requested, or fallen back to).
+func (p *Pipeline) EngineName() string {
+	if p.plan != nil {
+		return "plan"
+	}
+	return "interp"
+}
+
+// PlanFallback returns why the plan compiler fell back to the
+// interpreter; nil when the plan is active or the interpreter was
+// requested explicitly.
+func (p *Pipeline) PlanFallback() error { return p.planErr }
+
+// View is a read-only view of one processed packet's output fields.
+// Inside a Replay sink on the plan engine it reads straight from the
+// reused slot frame — no allocation — and is only valid until the sink
+// returns; do not retain it.
+type View struct {
+	pl *plan
+	fr *frame
+	m  map[string]uint64
+}
+
+// Get reads one flattened output field ("query.key", "cms_meta.min",
+// "meta.count@2" — see Key). It reports false for fields the packet
+// left unset, which Process would omit from its map.
+func (v View) Get(name string) (uint64, bool) {
+	if v.pl == nil {
+		val, ok := v.m[name]
+		return val, ok
+	}
+	if sr, ok := v.pl.fieldSlot[name]; ok && v.fr.stamp[sr.slot] == v.fr.gen {
+		return v.fr.vals[sr.slot], true
+	}
+	for i, k := range v.fr.extraK {
+		if k == name {
+			return v.fr.extraV[i], true
+		}
+	}
+	return 0, false
+}
+
+// Map materializes the view as the map Process would have returned
+// (allocates; hot loops should use Get with precomputed keys).
+func (v View) Map() map[string]uint64 {
+	if v.pl == nil {
+		return v.m
+	}
+	return v.pl.output(v.fr)
+}
+
+// Replay pushes pkts through the pipeline in order, handing each
+// packet's outputs to sink (nil to discard). On the plan engine the
+// frame and View are reused across packets, so a steady-state replay
+// performs zero allocations. A processing error aborts the replay with
+// the packet index attached; an error from sink aborts it and is
+// returned unwrapped.
+func (p *Pipeline) Replay(pkts []Packet, sink func(i int, v View) error) error {
+	if p.plan != nil {
+		v := View{pl: p.plan, fr: &p.fr}
+		for i := range pkts {
+			if err := p.plan.run(&p.fr, pkts[i]); err != nil {
+				return fmt.Errorf("sim: packet %d: %w", i, err)
+			}
+			if sink != nil {
+				if err := sink(i, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := range pkts {
+		out, err := p.Process(pkts[i])
+		if err != nil {
+			return fmt.Errorf("sim: packet %d: %w", i, err)
+		}
+		if sink != nil {
+			if err := sink(i, View{m: out}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Key flattens a field instance to its output key: the field name
+// itself for scalars (idx < 0), "field@idx" for elastic instances.
+// Precompute keys outside hot loops; Key allocates the string.
+func Key(field string, idx int) string {
+	if idx < 0 {
+		return field
+	}
+	return instKey(field, uint64(idx))
+}
+
+// instKey builds "field@idx" without fmt — it sits on the per-lookup
+// path of Meta and the interpreter's elastic field accesses.
+func instKey(field string, idx uint64) string {
+	buf := make([]byte, 0, len(field)+21)
+	buf = append(buf, field...)
+	buf = append(buf, '@')
+	buf = strconv.AppendUint(buf, idx, 10)
+	return string(buf)
+}

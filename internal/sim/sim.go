@@ -63,6 +63,12 @@ type Pipeline struct {
 	// never mutates its argument (reset per packet).
 	hdr   map[string]uint64
 	stats Stats
+	// plan is the compiled execution plan (nil when the interpreter
+	// runs — requested explicitly, or because compilation fell back;
+	// planErr records why). fr is the plan's reusable packet frame.
+	plan    *plan
+	planErr error
+	fr      frame
 }
 
 type step struct {
@@ -71,8 +77,18 @@ type step struct {
 	stage int
 }
 
-// New builds a pipeline for a resolved unit and its solved layout.
+// New builds a pipeline for a resolved unit and its solved layout,
+// executed by the default plan engine (see NewEngine).
 func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
+	return NewEngine(u, layout, EnginePlan)
+}
+
+// NewEngine builds a pipeline executed by the given engine. EnginePlan
+// lowers the program to a compiled plan (falling back to the
+// interpreter for programs it cannot lower); EngineInterp forces the
+// reference interpreter — difftest's engine oracle holds the two to
+// bit-identical observable behavior.
+func NewEngine(u *lang.Unit, layout *ilpgen.Layout, eng Engine) (*Pipeline, error) {
 	p := &Pipeline{
 		unit:   u,
 		layout: layout,
@@ -121,6 +137,18 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 		}
 		return p.steps[i].iter < p.steps[j].iter
 	})
+	if eng == EnginePlan {
+		pl, err := compilePlan(p)
+		if err != nil {
+			p.planErr = err
+		} else {
+			p.plan = pl
+			p.fr = frame{
+				vals:  make([]uint64, len(pl.slotKeys)),
+				stamp: make([]uint64, len(pl.slotKeys)),
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -191,12 +219,19 @@ func (p *Pipeline) Restore(s *Snapshot) error {
 	return nil
 }
 
-// Stats returns a snapshot of the pipeline's work counters.
+// Stats returns a snapshot of the pipeline's work counters. The
+// per-stage ALUOps slice is copied so the snapshot stays stable, which
+// makes this an end-of-run summary, not a per-packet probe — poll
+// PacketCount in hot loops instead.
 func (p *Pipeline) Stats() Stats {
 	s := p.stats
 	s.ALUOps = append([]uint64(nil), p.stats.ALUOps...)
 	return s
 }
+
+// PacketCount returns the number of packets processed so far without
+// copying any counters; safe to poll per packet.
+func (p *Pipeline) PacketCount() uint64 { return p.stats.Packets }
 
 // Register returns the live contents of a register instance (for tests
 // and tools). The slice aliases pipeline state.
@@ -227,6 +262,12 @@ func hashUint(key uint64, row uint64) uint64 {
 // header-field writes are visible only in the returned map, so the
 // same Packet value can be replayed any number of times.
 func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
+	if p.plan != nil {
+		if err := p.plan.run(&p.fr, pkt); err != nil {
+			return nil, err
+		}
+		return p.plan.output(&p.fr), nil
+	}
 	p.stats.Packets++
 	for k := range p.meta {
 		delete(p.meta, k)
@@ -272,13 +313,11 @@ func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
 }
 
 // Meta reads a metadata field after Process ("struct.field" for
-// scalars, instance selected by idx for elastic fields).
+// scalars, instance selected by idx for elastic fields). Hot loops
+// reading the same field repeatedly should precompute Key(field, idx)
+// once and index the map (or a Replay View) directly.
 func Meta(out map[string]uint64, field string, idx int) (uint64, bool) {
-	if idx >= 0 {
-		v, ok := out[fmt.Sprintf("%s@%d", field, idx)]
-		return v, ok
-	}
-	v, ok := out[field]
+	v, ok := out[Key(field, idx)]
 	return v, ok
 }
 
@@ -446,7 +485,7 @@ func (ev *evaluator) metaKey(ref *lang.Ref, f *lang.MetaField) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%s@%d", qual, idx), nil
+	return instKey(qual, idx), nil
 }
 
 // indexValue evaluates a compile-time instance index (iteration

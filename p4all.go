@@ -91,10 +91,40 @@ type Pipeline = sim.Pipeline
 // qualified field names such as "pkt.flow".
 type Packet = sim.Packet
 
-// NewPipeline builds an executable pipeline from a compilation result.
+// NewPipeline builds an executable pipeline from a compilation result,
+// using the default plan engine.
 func NewPipeline(res *Result) (*Pipeline, error) {
 	return sim.New(res.Unit, res.Layout)
 }
+
+// PipelineEngine selects a pipeline's execution strategy: EnginePlan
+// compiles the layout into a flat zero-allocation closure plan (the
+// default; falls back to the interpreter for programs it cannot
+// lower), EngineInterp forces the reference AST interpreter. See
+// docs/SIM_PERF.md.
+type PipelineEngine = sim.Engine
+
+const (
+	EnginePlan   = sim.EnginePlan
+	EngineInterp = sim.EngineInterp
+)
+
+// ParsePipelineEngine maps "plan"/"interp" to its engine value.
+func ParsePipelineEngine(s string) (PipelineEngine, error) { return sim.ParseEngine(s) }
+
+// NewPipelineEngine builds an executable pipeline on a specific engine
+// (Pipeline.Replay is the batched zero-allocation entry point).
+func NewPipelineEngine(res *Result, eng PipelineEngine) (*Pipeline, error) {
+	return sim.NewEngine(res.Unit, res.Layout, eng)
+}
+
+// PacketView is the read-only per-packet output view Pipeline.Replay
+// hands its sink; valid only until the sink returns.
+type PacketView = sim.View
+
+// FieldKey flattens a (field, instance) pair to its output-map key —
+// precompute these outside Replay sinks.
+func FieldKey(field string, idx int) string { return sim.Key(field, idx) }
 
 // MetaValue reads a metadata field from a Process result: idx selects
 // the instance of an elastic field, or -1 for scalars.
