@@ -7,15 +7,17 @@ SHELL := /bin/bash -o pipefail
 GO        ?= go
 # The benchmark families CI measures: the ILP solver scaling pair
 # (gated on ns/op), the sim engine benchmarks (plan replay gated on
-# both ns/op and allocs/op), plus the Figure 9 and drift end-to-end
-# benchmarks (reported, never gated — see cmd/benchgate).
-BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay
+# both ns/op and allocs/op), the sharded serving runtime (gated on
+# allocs/op — its hot loop is pinned at zero), plus the Figure 9 and
+# drift end-to-end benchmarks (reported, never gated — see
+# cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|ServeScaling
 BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
 .PHONY: build test race lint check bench bench-baseline bench-gate \
-	difftest fuzz-smoke
+	difftest fuzz-smoke serve-smoke
 
 # Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md).
 FUZZTIME ?= 30s
@@ -65,3 +67,19 @@ fuzz-smoke:
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSimVsGolden -fuzztime=$(FUZZTIME)
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzMigrateCMS -fuzztime=$(FUZZTIME)
+
+# serve-smoke boots the sharded UDP NetCache server on a loopback port,
+# drives Zipf traffic at it with the load generator, and fails unless
+# the observed hit rate clears the floor and the server acknowledges
+# the shutdown frame (see docs/SERVING.md). An end-to-end check of
+# cmd/netcacheserve + cmd/netcacheload over a real socket.
+SMOKE_ADDR ?= 127.0.0.1:19640
+serve-smoke:
+	$(GO) build -o bin/netcacheserve ./cmd/netcacheserve
+	$(GO) build -o bin/netcacheload ./cmd/netcacheload
+	./bin/netcacheserve -addr $(SMOKE_ADDR) -shards 2 -duration 60s & \
+	server=$$!; \
+	sleep 1; \
+	./bin/netcacheload -addr $(SMOKE_ADDR) -clients 4 -requests 200000 \
+		-shutdown -minhit 0.4 || { kill $$server 2>/dev/null; exit 1; }; \
+	wait $$server

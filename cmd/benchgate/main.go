@@ -15,7 +15,8 @@
 // When the input carries allocs/op columns (run with -benchmem), a
 // second gate applies: any benchmark matching -allocgate whose worst
 // repetition allocates more than its baseline fails immediately — no
-// ratio, no averaging, because the sim plan engine's steady state is
+// ratio, no averaging, because the sim plan engine's replay steady
+// state and the sharded serving runtime's per-shard hot loop are both
 // pinned at exactly zero allocations and a single new allocation is a
 // real regression.
 //
@@ -208,7 +209,7 @@ func main() {
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
 	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan`, "regexp selecting the benchmarks that can fail the ns/op gate")
-	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
+	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
 	flag.Parse()
 
 	if *text {

@@ -1,0 +1,66 @@
+// Command netcacheload drives Zipf-skewed GET traffic at a
+// cmd/netcacheserve instance from many concurrent UDP clients and
+// reports the observed hit rate — the load-generator half of the
+// serving experiment (see docs/SERVING.md).
+//
+// Exit status is nonzero if no responses arrive, or if -minhit is set
+// and the observed hit rate falls below it (the CI smoke test's
+// assertion).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p4all/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9640", "server UDP address")
+		clients  = flag.Int("clients", 8, "concurrent client sockets")
+		requests = flag.Int("requests", 200000, "total requests across clients")
+		keys     = flag.Int("keys", 100000, "key universe size")
+		zipf     = flag.Float64("zipf", 0.95, "request skew")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		window   = flag.Int("window", 64, "in-flight requests per client")
+		timeout  = flag.Duration("timeout", time.Second, "per-window reply deadline")
+		shutdown = flag.Bool("shutdown", false, "send OpShutdown to the server after the run")
+		minhit   = flag.Float64("minhit", -1, "fail unless the hit rate reaches this (<0: no check)")
+	)
+	flag.Parse()
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr:     *addr,
+		Clients:  *clients,
+		Requests: *requests,
+		Keys:     *keys,
+		Zipf:     *zipf,
+		Seed:     *seed,
+		Window:   *window,
+		Timeout:  *timeout,
+		Shutdown: *shutdown,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netcacheload:", err)
+		os.Exit(1)
+	}
+	rps := float64(res.Received) / res.Elapsed.Seconds()
+	fmt.Printf("%d clients sent %d requests in %v (%.0f resp/sec)\n",
+		*clients, res.Sent, res.Elapsed.Round(time.Millisecond), rps)
+	fmt.Printf("received %d (%d lost): %d hits, %d misses — hit rate %.4f\n",
+		res.Received, res.Lost, res.Hits, res.Misses, res.HitRate())
+	if *shutdown {
+		fmt.Printf("shutdown acknowledged: %v\n", res.ShutdownAcked)
+	}
+	if res.Received == 0 {
+		fmt.Fprintln(os.Stderr, "netcacheload: no responses received")
+		os.Exit(1)
+	}
+	if *minhit >= 0 && res.HitRate() < *minhit {
+		fmt.Fprintf(os.Stderr, "netcacheload: hit rate %.4f below required %.4f\n", res.HitRate(), *minhit)
+		os.Exit(1)
+	}
+}

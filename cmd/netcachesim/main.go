@@ -13,7 +13,9 @@
 // through the behavioral pipeline on the engine chosen by -engine
 // (plan or interp), and reports packets/sec plus the pipeline's
 // resource counters — a quick way to bisect a throughput regression
-// to the execution engine (see docs/SIM_PERF.md).
+// to the execution engine (see docs/SIM_PERF.md). Adding -shards M
+// replays through the sharded serving runtime (M flow-hashed
+// pipelines, see docs/SERVING.md) instead of one pipeline.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"p4all/internal/ilp"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
+	"p4all/internal/serve"
 	"p4all/internal/sim"
 	"p4all/internal/workload"
 )
@@ -49,6 +52,7 @@ func main() {
 		drift    = flag.Bool("drift", false, "run the workload-drift experiment (frozen vs elastic controller)")
 		engine   = flag.String("engine", "plan", "sim execution engine: plan or interp")
 		replayN  = flag.Int("simreplay", 0, "replay N packets through the behavioral pipeline and report packets/sec (0: off)")
+		shards   = flag.Int("shards", 1, "with -simreplay: replay through the sharded serving runtime with this many shards")
 	)
 	flag.Parse()
 	solver := ilp.Options{Threads: *threads, Deterministic: *det}
@@ -60,7 +64,7 @@ func main() {
 	}
 
 	if *replayN > 0 {
-		if err := runSimReplay(*engine, *mem, *keys, *replayN, *zipf, *seed, solver, tracer); err != nil {
+		if err := runSimReplay(*engine, *mem, *keys, *replayN, *shards, *zipf, *seed, solver, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "netcachesim:", err)
 			os.Exit(1)
 		}
@@ -130,8 +134,10 @@ func main() {
 
 // runSimReplay compiles NetCache and pushes a Zipf stream through the
 // behavioral pipeline on the requested engine, reporting throughput
-// and the pipeline's resource counters.
-func runSimReplay(engine string, mem, keys, n int, zipf float64, seed int64, solver ilp.Options, tracer *obs.Tracer) error {
+// and the pipeline's resource counters. With shards > 1 the stream
+// goes through the sharded serving runtime instead — same program,
+// flow-hashed across per-shard pipelines.
+func runSimReplay(engine string, mem, keys, n, shards int, zipf float64, seed int64, solver ilp.Options, tracer *obs.Tracer) error {
 	eng, err := sim.ParseEngine(engine)
 	if err != nil {
 		return err
@@ -142,6 +148,44 @@ func runSimReplay(engine string, mem, keys, n int, zipf float64, seed int64, sol
 	if err != nil {
 		return err
 	}
+	stream := workload.ZipfKeys(seed, keys, zipf, n)
+	pkts := make([]sim.Packet, len(stream))
+	for i, k := range stream {
+		pkts[i] = sim.Packet{"query.key": k & 0xFFFFFFFF, "query.op": 0, "ipv4.dst": k & 0xFFFFFFFF}
+	}
+
+	if shards > 1 {
+		rt, err := serve.NewSimRuntime(serve.SimConfig{
+			Unit: res.Unit, Layout: res.Layout, Engine: eng,
+			Shards: shards, KeyField: "query.key", Tracer: tracer,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := rt.DispatchAll(pkts); err != nil {
+			return err
+		}
+		rt.Drain()
+		elapsed := time.Since(start)
+		if err := rt.Close(); err != nil {
+			return err
+		}
+		pps := float64(rt.Packets()) / elapsed.Seconds()
+		tracer.Event("netcachesim.simreplay",
+			obs.String("engine", rt.Pipelines()[0].EngineName()),
+			obs.Int("shards", shards),
+			obs.Int("packets", int(rt.Packets())),
+			obs.Float("pkts_per_sec", pps),
+		)
+		fmt.Printf("engine %s, %d shards: %d packets in %v (%.0f pkts/sec aggregate)\n",
+			rt.Pipelines()[0].EngineName(), shards, rt.Packets(), elapsed.Round(time.Millisecond), pps)
+		for i := 0; i < rt.Shards(); i++ {
+			fmt.Printf("  shard %d: %d packets\n", i, rt.ShardPackets(i))
+		}
+		return nil
+	}
+
 	pipe, err := sim.NewEngine(res.Unit, res.Layout, eng)
 	if err != nil {
 		return err
@@ -150,11 +194,6 @@ func runSimReplay(engine string, mem, keys, n int, zipf float64, seed int64, sol
 		if ferr := pipe.PlanFallback(); ferr != nil {
 			fmt.Fprintln(os.Stderr, "plan compiler fell back to the interpreter:", ferr)
 		}
-	}
-	stream := workload.ZipfKeys(seed, keys, zipf, n)
-	pkts := make([]sim.Packet, len(stream))
-	for i, k := range stream {
-		pkts[i] = sim.Packet{"query.key": k & 0xFFFFFFFF, "query.op": 0, "ipv4.dst": k & 0xFFFFFFFF}
 	}
 	start := time.Now()
 	if err := pipe.Replay(pkts, nil); err != nil {

@@ -7,13 +7,20 @@
 //	p4allbench -fig 11   application benchmark table
 //	p4allbench -fig 12   memory-elasticity sweep
 //	p4allbench -fig 13   utility-function comparison
-//	p4allbench -fig all  everything
+//	p4allbench -fig all  everything above
+//
+// The serving-scalability figure is explicit-only (it measures
+// wall-clock throughput, so it should run on an otherwise idle
+// machine):
+//
+//	p4allbench -fig scaling   aggregate pkts/sec vs shard count
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"p4all/internal/eval"
@@ -26,7 +33,7 @@ import (
 var tracer *obs.Tracer
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, scaling, or all (scaling only when named)")
 	mem := flag.Int("mem", 7*pisa.Mb/4, "per-stage memory bits for single-target figures")
 	threads := flag.Int("threads", 0, "branch-and-bound workers per solve (0: all cores)")
 	det := flag.Bool("det", true, "deterministic solver mode — figures are bit-stable across runs and -threads values")
@@ -62,6 +69,9 @@ func main() {
 	run("11", func() error { return fig11(*mem) })
 	run("12", fig12)
 	run("13", func() error { return fig13(*mem) })
+	if *fig == "scaling" {
+		run("scaling", figScaling)
+	}
 
 	if err := tracer.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "p4allbench: trace:", err)
@@ -166,6 +176,19 @@ func fig13(mem int) error {
 	fmt.Printf("%-58s %10s %10s %6s\n", "utility", "cms_cells", "kv_items", "gap%")
 	for _, r := range rows {
 		fmt.Printf("%-58s %10d %10d %6.2f\n", r.Utility, r.CMSCells, r.KVItems, 100*r.Gap)
+	}
+	return nil
+}
+
+func figScaling() error {
+	res, err := eval.FigureScalingTraced(eval.DefaultScalingConfig(), tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine %s, GOMAXPROCS %d\n\n", res.Engine, runtime.GOMAXPROCS(0))
+	fmt.Printf("%7s %10s %14s %9s\n", "shards", "packets", "pkts/sec", "speedup")
+	for _, p := range res.Points {
+		fmt.Printf("%7d %10d %14.0f %8.2fx\n", p.Shards, p.Packets, p.PktsPerSec, p.Speedup)
 	}
 	return nil
 }

@@ -198,6 +198,40 @@ func MigrateKVS(old *structures.KVStore, parts, slots int, rank func(key uint64)
 	return fresh, dropped, nil
 }
 
+// MigrateShards migrates a sharded plane set to a new layout: each
+// shard's plane goes through Migrate with only the hot keys that shard
+// owns (route maps a key to its owning shard), so a shard never
+// re-admits counts for traffic it did not serve. Returns the new plane
+// set and the total KV entries dropped to collisions across shards.
+//
+// The old planes are read during migration, so the caller must have
+// quiesced the shards first (internal/serve runs this inside
+// Runtime.Quiesce, then publishes the result with MultiGate.SwapAll).
+func MigrateShards(old []*Plane, l *ilpgen.Layout, hot []KeyCount, route func(key uint64) int) ([]*Plane, int, error) {
+	if route == nil {
+		route = func(uint64) int { return 0 }
+	}
+	perShard := make([][]KeyCount, len(old))
+	for _, kc := range hot {
+		s := route(kc.Key)
+		if s < 0 || s >= len(old) {
+			return nil, 0, fmt.Errorf("elastic: hot key %d routes to shard %d of %d", kc.Key, s, len(old))
+		}
+		perShard[s] = append(perShard[s], kc)
+	}
+	planes := make([]*Plane, len(old))
+	dropped := 0
+	for i, op := range old {
+		p, d, err := Migrate(op, l, perShard[i])
+		if err != nil {
+			return nil, 0, fmt.Errorf("elastic: shard %d: %w", i, err)
+		}
+		planes[i] = p
+		dropped += d
+	}
+	return planes, dropped, nil
+}
+
 // Migrate builds a plane for the new layout carrying the old plane's
 // state: CMS via MigrateCMS with the window's hot keys, KV via
 // MigrateKVS ranked by the same hot-key counts. Returns the plane and

@@ -1,0 +1,156 @@
+package elastic
+
+import (
+	"testing"
+
+	"p4all/internal/ilpgen"
+	"p4all/internal/structures"
+)
+
+func mkTestPlanes(t *testing.T, n int) []*Plane {
+	t.Helper()
+	planes := make([]*Plane, n)
+	for i := range planes {
+		cms, err := structures.NewCountMinSketch(2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv, err := structures.NewKVStore(1, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes[i] = &Plane{CMS: cms, KV: kv}
+	}
+	return planes
+}
+
+func TestMultiGateSwapAllStampsSharedEpoch(t *testing.T) {
+	g, err := NewMultiGate(mkTestPlanes(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", g.Shards())
+	}
+	if g.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", g.Epoch())
+	}
+	for s := 0; s < 4; s++ {
+		p, e := g.Load(s)
+		if e != 1 || p.Epoch != 1 {
+			t.Fatalf("shard %d: load epoch %d, plane epoch %d, want 1/1", s, e, p.Epoch)
+		}
+	}
+	next := mkTestPlanes(t, 4)
+	e, err := g.SwapAll(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 2 {
+		t.Fatalf("swap epoch = %d, want 2", e)
+	}
+	for s := 0; s < 4; s++ {
+		p, le := g.Load(s)
+		if le != 2 || p.Epoch != 2 {
+			t.Fatalf("shard %d after swap: load epoch %d, plane epoch %d, want 2/2", s, le, p.Epoch)
+		}
+		if p != next[s] {
+			t.Fatalf("shard %d did not receive its replacement plane", s)
+		}
+	}
+}
+
+func TestMultiGateRejectsShardCountMismatch(t *testing.T) {
+	if _, err := NewMultiGate(nil); err == nil {
+		t.Fatal("NewMultiGate(nil) accepted an empty plane set")
+	}
+	g, err := NewMultiGate(mkTestPlanes(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SwapAll(mkTestPlanes(t, 2)); err == nil {
+		t.Fatal("SwapAll accepted a plane set of the wrong shard count")
+	}
+	// A rejected swap must not disturb the published set.
+	if g.Epoch() != 1 || g.Shards() != 3 {
+		t.Fatalf("after rejected swap: epoch %d shards %d, want 1/3", g.Epoch(), g.Shards())
+	}
+}
+
+func TestMultiGatePlanesReturnsCopy(t *testing.T) {
+	g, err := NewMultiGate(mkTestPlanes(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := g.Planes()
+	ps[0] = nil
+	if p, _ := g.Load(0); p == nil {
+		t.Fatal("mutating the Planes() slice leaked into the gate")
+	}
+}
+
+func TestMigrateShardsFiltersHotKeysByOwner(t *testing.T) {
+	l := &ilpgen.Layout{Symbolics: map[string]int64{
+		"cms_rows": 2, "cms_cols": 32, "kv_parts": 1, "kv_slots": 64,
+	}}
+	old := make([]*Plane, 2)
+	for i := range old {
+		p, err := NewPlane(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old[i] = p
+	}
+	route := func(k uint64) int { return int(k % 2) }
+	// Populate each shard only with the keys it owns, as the runtime
+	// would.
+	for k := uint64(0); k < 20; k++ {
+		s := route(k)
+		old[s].CMS.Add(k, uint32(k+1))
+		old[s].KV.Put(k, k*3)
+	}
+	hot := make([]KeyCount, 0, 20)
+	for k := uint64(0); k < 20; k++ {
+		hot = append(hot, KeyCount{Key: k, Count: k + 1})
+	}
+	// Re-shape the CMS so migration takes the hot-key re-admission path.
+	l2 := &ilpgen.Layout{Symbolics: map[string]int64{
+		"cms_rows": 2, "cms_cols": 64, "kv_parts": 1, "kv_slots": 64,
+	}}
+	planes, dropped, err := MigrateShards(old, l2, hot, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped %d KV entries into a same-shape store", dropped)
+	}
+	if len(planes) != 2 {
+		t.Fatalf("got %d planes, want 2", len(planes))
+	}
+	for k := uint64(0); k < 20; k++ {
+		s := route(k)
+		// The owning shard carries the key's state (Put can evict
+		// colliders, so only keys still in the old store must survive);
+		// the other shard must not have absorbed it.
+		if _, had := old[s].KV.Get(k); had {
+			if v, ok := planes[s].KV.Get(k); !ok || v != k*3 {
+				t.Fatalf("shard %d lost key %d after migration", s, k)
+			}
+		}
+		if _, ok := planes[1-s].KV.Get(k); ok {
+			t.Fatalf("key %d leaked into shard %d during migration", k, 1-s)
+		}
+		if est := planes[s].CMS.Estimate(k); est < uint32(k+1) {
+			t.Fatalf("shard %d CMS underestimates key %d after migration: %d < %d", s, k, est, k+1)
+		}
+		if est := planes[1-s].CMS.Estimate(k); est > 0 && est >= uint32(k+1) && k > 4 {
+			// Cross-shard hash collisions can produce small nonzero
+			// estimates, but a full carried count means the filter failed.
+			t.Fatalf("shard %d absorbed key %d's carried count", 1-s, k)
+		}
+	}
+	// Route pointing outside the shard range is rejected.
+	if _, _, err := MigrateShards(old, l2, hot, func(uint64) int { return 7 }); err == nil {
+		t.Fatal("MigrateShards accepted an out-of-range route")
+	}
+}

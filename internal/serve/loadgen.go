@@ -1,0 +1,203 @@
+// The load generator: many concurrent clients, each with its own
+// socket and Zipf key stream, driving windowed GET traffic at the UDP
+// front-end and tallying hit rates from the responses. Windowing (send
+// W, then collect W replies under a deadline) keeps per-client
+// in-flight state bounded without per-request round-trip stalls.
+
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4all/internal/workload"
+)
+
+// LoadConfig drives a load run against a server.
+type LoadConfig struct {
+	// Addr is the server's UDP address.
+	Addr string
+	// Clients is the number of concurrent client sockets (default 4).
+	Clients int
+	// Requests is the total request count across clients (default
+	// 100000), split evenly.
+	Requests int
+	// Keys is the key-universe size (default 100000); Zipf the skew
+	// (default 0.95); Seed the workload seed.
+	Keys int
+	Zipf float64
+	Seed int64
+	// Window is the in-flight request cap per client (default 64).
+	Window int
+	// Timeout bounds each window's reply collection (default 200ms).
+	Timeout time.Duration
+	// Shutdown, when set, sends OpShutdown after the run and waits for
+	// the server's acknowledgment.
+	Shutdown bool
+}
+
+// LoadResult aggregates all clients' outcomes.
+type LoadResult struct {
+	Sent, Received  uint64
+	Hits, Misses    uint64
+	Lost            uint64 // replies not received within a window deadline
+	Elapsed         time.Duration
+	ShutdownAcked   bool
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 before any reply.
+func (r LoadResult) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// RunLoad executes the configured load and returns the aggregate
+// result. Client errors (socket setup) abort the run; lost datagrams
+// do not.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100000
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100000
+	}
+	if cfg.Zipf == 0 {
+		cfg.Zipf = 0.95
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 200 * time.Millisecond
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("serve: resolve %q: %w", cfg.Addr, err)
+	}
+
+	var res LoadResult
+	var sent, recv, hits, misses, lost atomic.Uint64
+	errs := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	per := cfg.Requests / cfg.Clients
+	for c := 0; c < cfg.Clients; c++ {
+		n := per
+		if c == cfg.Clients-1 {
+			n = cfg.Requests - per*(cfg.Clients-1)
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			keys := workload.ZipfKeys(cfg.Seed+int64(c)*7919, cfg.Keys, cfg.Zipf, n)
+			s, r, h, m, l, err := runClient(addr, keys, cfg.Window, cfg.Timeout)
+			sent.Add(s)
+			recv.Add(r)
+			hits.Add(h)
+			misses.Add(m)
+			lost.Add(l)
+			if err != nil {
+				errs <- err
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Sent, res.Received = sent.Load(), recv.Load()
+	res.Hits, res.Misses, res.Lost = hits.Load(), misses.Load(), lost.Load()
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	if cfg.Shutdown {
+		acked, err := SendShutdown(addr, cfg.Timeout)
+		if err != nil {
+			return res, err
+		}
+		res.ShutdownAcked = acked
+	}
+	return res, nil
+}
+
+// runClient sends keys in windows over its own socket.
+func runClient(addr *net.UDPAddr, keys []uint64, window int, timeout time.Duration) (sent, recv, hits, misses, lost uint64, err error) {
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return 0, 0, 0, 0, 0, fmt.Errorf("serve: client dial: %w", err)
+	}
+	defer conn.Close()
+	var out, in [FrameSize]byte
+	seq := uint32(0)
+	for off := 0; off < len(keys); off += window {
+		end := off + window
+		if end > len(keys) {
+			end = len(keys)
+		}
+		for _, k := range keys[off:end] {
+			seq++
+			Frame{Op: OpGet, Seq: seq, Key: k}.Encode(out[:])
+			if _, werr := conn.Write(out[:]); werr != nil {
+				return sent, recv, hits, misses, lost, fmt.Errorf("serve: client write: %w", werr)
+			}
+			sent++
+		}
+		want := uint64(end - off)
+		deadline := time.Now().Add(timeout)
+		conn.SetReadDeadline(deadline)
+		var got uint64
+		for got < want {
+			n, rerr := conn.Read(in[:])
+			if rerr != nil {
+				break // deadline: count the window's stragglers as lost
+			}
+			f, derr := DecodeFrame(in[:n])
+			if derr != nil {
+				continue
+			}
+			got++
+			recv++
+			switch f.Status {
+			case StatusHit:
+				hits++
+			case StatusMiss:
+				misses++
+			}
+		}
+		lost += want - got
+	}
+	return sent, recv, hits, misses, lost, nil
+}
+
+// SendShutdown sends one OpShutdown frame and waits up to timeout for
+// the server's StatusOK, reporting whether it arrived.
+func SendShutdown(addr *net.UDPAddr, timeout time.Duration) (bool, error) {
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return false, fmt.Errorf("serve: shutdown dial: %w", err)
+	}
+	defer conn.Close()
+	var buf [FrameSize]byte
+	Frame{Op: OpShutdown, Seq: 1}.Encode(buf[:])
+	if _, err := conn.Write(buf[:]); err != nil {
+		return false, fmt.Errorf("serve: shutdown write: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	n, err := conn.Read(buf[:])
+	if err != nil {
+		return false, nil // server may already be gone; not a client error
+	}
+	f, err := DecodeFrame(buf[:n])
+	if err != nil {
+		return false, nil
+	}
+	return f.Op == OpShutdown && f.Status == StatusOK, nil
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"testing"
+
+	"p4all/internal/elastic"
+	"p4all/internal/ilpgen"
+	"p4all/internal/structures"
+	"p4all/internal/workload"
+)
+
+// testLayout hand-builds a layout with the NetCache structure shapes,
+// skipping the compiler for structure-level tests.
+func testLayout(rows, cols, parts, slots int64) *ilpgen.Layout {
+	return &ilpgen.Layout{Symbolics: map[string]int64{
+		"cms_rows": rows, "cms_cols": cols, "kv_parts": parts, "kv_slots": slots,
+	}}
+}
+
+const noAdmission = ^uint32(0) // threshold no estimate reaches
+
+// TestNetCacheKVBitIdenticalToSingleShard is the golden KVS oracle:
+// on a pure put/get workload (admission disabled), every read from
+// the sharded cache must be bit-identical to a single-shard run and
+// to a plain KVStore fed the same sequence — partition routing keeps
+// each slot's collision set on one shard, so eviction order is
+// preserved exactly.
+func TestNetCacheKVBitIdenticalToSingleShard(t *testing.T) {
+	l := testLayout(2, 256, 4, 32)
+	golden, err := structures.NewKVStore(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.ZipfKeys(3, 2000, 1.1, 30000)
+	for shards := 1; shards <= 4; shards <<= 1 {
+		nc, err := NewNetCache(NetCacheConfig{Layout: l, Shards: shards, BatchSize: 64, Threshold: noAdmission})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := nc.Dispatch(Request{Op: OpPut, Key: k, Val: k*7 + 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nc.Drain()
+		if shards == 1 {
+			for _, k := range keys {
+				golden.Put(k, k*7+1)
+			}
+		}
+		for k := uint64(0); k < 2000; k++ {
+			want, wantOK := golden.Get(k)
+			got, gotOK, err := nc.Lookup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK || got != want {
+				t.Fatalf("shards=%d key %d: got (%d,%v), golden (%d,%v)", shards, k, got, gotOK, want, wantOK)
+			}
+		}
+		if err := nc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNetCacheMergedCMSExactAndNeverUnder is the golden CMS oracle
+// against merged reads: with the cache empty and admission disabled,
+// every GET misses and updates the owning shard's sketch, so the
+// merged sketch must exactly equal a single sketch fed the whole
+// stream — and in particular never underestimate any key's true
+// count.
+func TestNetCacheMergedCMSExactAndNeverUnder(t *testing.T) {
+	l := testLayout(3, 512, 4, 32)
+	nc, err := NewNetCache(NetCacheConfig{Layout: l, Shards: 4, BatchSize: 64, Threshold: noAdmission})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	golden, err := structures.NewCountMinSketch(3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.ZipfKeys(7, 1500, 1.1, 40000)
+	truth := make(map[uint64]uint32, 1500)
+	for _, k := range keys {
+		if err := nc.Dispatch(Request{Op: OpGet, Key: k}); err != nil {
+			t.Fatal(err)
+		}
+		golden.Update(k)
+		truth[k]++
+	}
+	merged, err := nc.MergedCMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range truth {
+		m := merged.Estimate(k)
+		if m != golden.Estimate(k) {
+			t.Fatalf("key %d: merged estimate %d != golden %d", k, m, golden.Estimate(k))
+		}
+		if m < n {
+			t.Fatalf("key %d: merged estimate %d underestimates true count %d", k, m, n)
+		}
+	}
+	h, m, _ := nc.Stats()
+	if h != 0 || m != uint64(len(keys)) {
+		t.Fatalf("stats = %d hits / %d misses, want 0/%d", h, m, len(keys))
+	}
+}
+
+// TestNetCacheServeLoopAdmitsAndHits runs the full admission loop (the
+// Figure 4 serve loop) sharded: a skewed stream must produce a
+// nonzero hit rate, consistent counters, and a merged sketch that
+// never underestimates the per-key miss counts that fed it.
+func TestNetCacheServeLoopAdmitsAndHits(t *testing.T) {
+	l := testLayout(2, 1024, 8, 64)
+	nc, err := NewNetCache(NetCacheConfig{Layout: l, Shards: 4, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	reqs := make([]Request, 0, 60000)
+	for _, k := range workload.ZipfKeys(11, 5000, 1.2, 60000) {
+		reqs = append(reqs, Request{Op: OpGet, Key: k})
+	}
+	if err := nc.DispatchAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	nc.Drain()
+	h, m, admits := nc.Stats()
+	if h+m != uint64(len(reqs)) {
+		t.Fatalf("hits+misses = %d, want %d", h+m, len(reqs))
+	}
+	if h == 0 || admits == 0 {
+		t.Fatalf("skewed stream produced %d hits, %d admissions; want both nonzero", h, admits)
+	}
+	if rate := nc.HitRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("hit rate %f outside (0,1)", rate)
+	}
+	if nc.Packets() != uint64(len(reqs)) {
+		t.Fatalf("Packets() = %d, want %d", nc.Packets(), len(reqs))
+	}
+	// A hot key that was admitted must now be readable and carry the
+	// backend value.
+	hot := workload.ZipfKeys(11, 5000, 1.2, 1)[0]
+	if v, ok, err := nc.Lookup(hot); err != nil {
+		t.Fatal(err)
+	} else if ok && v != hot*3 {
+		t.Fatalf("admitted key %d carries %d, want backend value %d", hot, v, hot*3)
+	}
+}
+
+// TestNetCacheSwapLayoutMigratesUnderTraffic re-shapes the cache
+// mid-stream: the swap must bump the epoch exactly once, keep
+// same-partition entries readable, and leave the runtime serving.
+func TestNetCacheSwapLayoutMigratesUnderTraffic(t *testing.T) {
+	l := testLayout(2, 256, 4, 32)
+	nc, err := NewNetCache(NetCacheConfig{Layout: l, Shards: 2, BatchSize: 32, Threshold: noAdmission})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	for k := uint64(0); k < 200; k++ {
+		if err := nc.Dispatch(Request{Op: OpPut, Key: k, Val: k + 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc.Drain()
+	kept := make(map[uint64]uint64)
+	for k := uint64(0); k < 200; k++ {
+		if v, ok, err := nc.Lookup(k); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			kept[k] = v
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatal("no keys survived the initial puts")
+	}
+
+	// Same kv shape (routing unchanged), wider CMS: migration keeps
+	// every surviving entry.
+	hot := make([]elastic.KeyCount, 0, len(kept))
+	for k := range kept {
+		hot = append(hot, elastic.KeyCount{Key: k, Count: 1})
+	}
+	epoch, dropped, err := nc.SwapLayout(testLayout(2, 512, 4, 32), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch after swap = %d, want 2", epoch)
+	}
+	if dropped != 0 {
+		t.Fatalf("same-shape KV migration dropped %d entries", dropped)
+	}
+	for k, want := range kept {
+		if v, ok, err := nc.Lookup(k); err != nil {
+			t.Fatal(err)
+		} else if !ok || v != want {
+			t.Fatalf("key %d after swap: got (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+	// The runtime keeps serving after the swap.
+	if err := nc.Dispatch(Request{Op: OpPut, Key: 9999, Val: 1}); err != nil {
+		t.Fatal(err)
+	}
+	nc.Drain()
+	if v, ok, err := nc.Lookup(9999); err != nil || !ok || v != 1 {
+		t.Fatalf("post-swap put unreadable: (%d,%v,%v)", v, ok, err)
+	}
+}

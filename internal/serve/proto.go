@@ -1,0 +1,95 @@
+// The UDP wire format for the NetCache front-end: one fixed-size
+// binary frame per datagram, shared by requests and responses. Fixed
+// framing keeps encode/decode allocation-free and lets the server
+// reuse a single receive buffer.
+
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// FrameSize is the exact length of every request and response
+// datagram: magic(2) op(1) status(1) seq(4) key(8) val(8).
+const FrameSize = 24
+
+// frameMagic guards against stray datagrams on the port.
+const frameMagic = 0x5034 // "P4"
+
+// Request/response opcodes.
+const (
+	// OpGet looks a key up; a miss returns the backend value and may
+	// admit the key to the cache.
+	OpGet = 1
+	// OpPut inserts or overwrites a key.
+	OpPut = 2
+	// OpShutdown asks the server to drain and exit (the load
+	// generator's clean-stop handshake).
+	OpShutdown = 3
+)
+
+// Response status codes.
+const (
+	// StatusHit: OpGet served from the cache.
+	StatusHit = 1
+	// StatusMiss: OpGet went to the backend (val still carries the
+	// authoritative value).
+	StatusMiss = 2
+	// StatusOK acknowledges OpPut and OpShutdown.
+	StatusOK = 3
+	// StatusErr reports a malformed or unroutable request.
+	StatusErr = 4
+)
+
+// Frame is one decoded datagram. Requests fill Op; responses fill
+// Status; Seq lets a client pair the two across reordering.
+type Frame struct {
+	Op     uint8
+	Status uint8
+	Seq    uint32
+	Key    uint64
+	Val    uint64
+}
+
+// Encode writes the frame into buf (which must hold FrameSize bytes)
+// and returns FrameSize.
+func (f Frame) Encode(buf []byte) int {
+	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
+	buf[2] = f.Op
+	buf[3] = f.Status
+	binary.BigEndian.PutUint32(buf[4:8], f.Seq)
+	binary.BigEndian.PutUint64(buf[8:16], f.Key)
+	binary.BigEndian.PutUint64(buf[16:24], f.Val)
+	return FrameSize
+}
+
+// DecodeFrame parses one datagram.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < FrameSize {
+		return Frame{}, fmt.Errorf("serve: short frame: %d bytes, want %d", len(buf), FrameSize)
+	}
+	if m := binary.BigEndian.Uint16(buf[0:2]); m != frameMagic {
+		return Frame{}, fmt.Errorf("serve: bad frame magic %#04x", m)
+	}
+	return Frame{
+		Op:     buf[2],
+		Status: buf[3],
+		Seq:    binary.BigEndian.Uint32(buf[4:8]),
+		Key:    binary.BigEndian.Uint64(buf[8:16]),
+		Val:    binary.BigEndian.Uint64(buf[16:24]),
+	}, nil
+}
+
+// Request is one in-flight client operation: the decoded frame plus
+// the return address the response goes to. netip.AddrPort is a value
+// type, so routing requests through the shard queues allocates
+// nothing.
+type Request struct {
+	Op   uint8
+	Seq  uint32
+	Key  uint64
+	Val  uint64
+	Addr netip.AddrPort
+}

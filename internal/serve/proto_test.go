@@ -1,0 +1,30 @@
+package serve
+
+import "testing"
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{Op: OpGet, Status: StatusMiss, Seq: 0xDEADBEEF, Key: 1<<63 | 42, Val: ^uint64(0)}
+	var buf [FrameSize]byte
+	if n := in.Encode(buf[:]); n != FrameSize {
+		t.Fatalf("Encode wrote %d bytes, want %d", n, FrameSize)
+	}
+	out, err := DecodeFrame(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	var buf [FrameSize]byte
+	Frame{Op: OpPut}.Encode(buf[:])
+	if _, err := DecodeFrame(buf[:FrameSize-1]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	buf[0] ^= 0xFF
+	if _, err := DecodeFrame(buf[:]); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

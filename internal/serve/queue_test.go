@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSPSCOrderUnderConcurrency(t *testing.T) {
+	q := newSPSC[int](8)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !q.push(i) {
+				t.Error("push failed on open ring")
+				return
+			}
+		}
+		q.close()
+	}()
+	for want := 0; ; want++ {
+		v, ok := q.pop()
+		if !ok {
+			if want != n {
+				t.Fatalf("ring closed after %d pops, want %d", want, n)
+			}
+			break
+		}
+		if v != want {
+			t.Fatalf("pop %d = %d, out of order", want, v)
+		}
+	}
+	wg.Wait()
+}
+
+func TestSPSCTryOpsRespectCapacity(t *testing.T) {
+	q := newSPSC[int](4)
+	if _, ok := q.tryPop(); ok {
+		t.Fatal("tryPop on empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.tryPush(i) {
+			t.Fatalf("tryPush %d failed below capacity", i)
+		}
+	}
+	if q.tryPush(99) {
+		t.Fatal("tryPush succeeded on a full ring")
+	}
+	if v, ok := q.tryPop(); !ok || v != 0 {
+		t.Fatalf("tryPop = %d,%v, want 0,true", v, ok)
+	}
+	if !q.tryPush(4) {
+		t.Fatal("tryPush failed after a pop freed space")
+	}
+}
+
+func TestSPSCCloseDrainsThenStops(t *testing.T) {
+	q := newSPSC[int](8)
+	q.tryPush(1)
+	q.tryPush(2)
+	q.close()
+	if v, ok := q.pop(); !ok || v != 1 {
+		t.Fatalf("pop after close = %d,%v, want 1,true", v, ok)
+	}
+	if v, ok := q.pop(); !ok || v != 2 {
+		t.Fatalf("pop after close = %d,%v, want 2,true", v, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on drained closed ring succeeded")
+	}
+	if q.push(3) {
+		t.Fatal("push on closed ring succeeded")
+	}
+}
+
+func TestSPSCCapacityRoundsUp(t *testing.T) {
+	q := newSPSC[int](5)
+	if len(q.buf) != 8 {
+		t.Fatalf("capacity 5 rounded to %d, want 8", len(q.buf))
+	}
+	if !q.empty() {
+		t.Fatal("fresh ring not empty")
+	}
+}

@@ -1,0 +1,308 @@
+// Package serve is the sharded multi-core serving runtime: an
+// RSS-style dispatcher that flow-hashes traffic across N shards, each
+// owning a private batch queue and private data-plane state, so the
+// single-goroutine zero-alloc replay engine (internal/sim) scales out
+// without locks on the packet path.
+//
+// The design mirrors how a multi-pipe switch — or a NIC spreading
+// flows across cores with receive-side scaling — runs one P4All
+// program: every shard executes the same compiled layout against its
+// own registers, a flow hash pins each key to one shard so per-key
+// state never crosses cores, and control-plane reads reconstruct the
+// whole-device view from per-shard state (count-min sketches merge
+// cell-wise; key-value partitions are disjoint so a read routes to the
+// owning shard). Reconfiguration extends the elastic controller's
+// swap protocol: Runtime.Quiesce drains every shard, the controller
+// migrates all N planes inside the quiet window, and
+// elastic.MultiGate.SwapAll publishes the new set under one epoch so
+// no batch ever executes against a torn mix of layouts. See
+// docs/SERVING.md for the full protocol.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"p4all/internal/obs"
+	"p4all/internal/structures"
+)
+
+// Config sizes a Runtime and binds its routing and processing hooks.
+type Config[T any] struct {
+	// Shards is the number of worker goroutines / state planes
+	// (default 1).
+	Shards int
+	// BatchSize is how many items accumulate before a batch is handed
+	// to a shard (default 256). Flush pushes partial batches.
+	BatchSize int
+	// QueueDepth is the per-shard queue capacity in batches
+	// (default 8, rounded up to a power of two).
+	QueueDepth int
+	// Route maps an item to its owning shard in [0, Shards). Required.
+	// Keys that share data-plane state must share a shard: use
+	// FlowRoute for plain flow hashing or PartitionRoute when a
+	// KVStore's collision behavior must match the single-shard run.
+	Route func(item T) int
+	// Process consumes one batch on the shard's goroutine. The batch
+	// slice is recycled after return; implementations must not retain
+	// it. An error poisons the runtime (Err) and later batches on any
+	// shard are dropped.
+	Process func(shard int, batch []T) error
+	// Tracer receives per-shard packet/batch counters
+	// ("serve.shard3.packets"); nil disables.
+	Tracer *obs.Tracer
+}
+
+type shard[T any] struct {
+	in      *spsc[[]T]
+	free    *spsc[[]T]
+	fill    []T // producer-side batch being accumulated
+	pushed  atomic.Uint64
+	handled atomic.Uint64
+	packets atomic.Uint64
+	pkts    *obs.Counter
+	batches *obs.Counter
+}
+
+// Runtime fans items out to per-shard worker goroutines. Dispatch,
+// Flush, Drain, Quiesce, and Close are safe to call from any
+// goroutine (a mutex serializes producers); Process runs only on the
+// shard's own goroutine, which is what lets it own sim.Pipeline state
+// without synchronization.
+type Runtime[T any] struct {
+	cfg    Config[T]
+	shards []shard[T]
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex // serializes producers: Dispatch/Flush/Drain/Quiesce/Close
+	closed bool
+
+	errOnce sync.Once
+	err     atomic.Pointer[error]
+}
+
+// NewRuntime validates the config, starts the shard goroutines, and
+// returns the running runtime. Callers must Close it.
+func NewRuntime[T any](cfg Config[T]) (*Runtime[T], error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.Route == nil {
+		return nil, fmt.Errorf("serve: Config.Route is required")
+	}
+	if cfg.Process == nil {
+		return nil, fmt.Errorf("serve: Config.Process is required")
+	}
+	r := &Runtime[T]{cfg: cfg, shards: make([]shard[T], cfg.Shards)}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.in = newSPSC[[]T](cfg.QueueDepth)
+		// The free ring recycles batch slices back to the producer; it
+		// holds every batch that can be in flight plus the two being
+		// filled/processed, so steady state never allocates.
+		s.free = newSPSC[[]T](cfg.QueueDepth + 2)
+		s.fill = make([]T, 0, cfg.BatchSize)
+		s.pkts = cfg.Tracer.Counter(fmt.Sprintf("serve.shard%d.packets", i))
+		s.batches = cfg.Tracer.Counter(fmt.Sprintf("serve.shard%d.batches", i))
+		r.wg.Add(1)
+		go r.run(i)
+	}
+	return r, nil
+}
+
+// run is the shard worker loop: pop a batch, process it, recycle the
+// slice. After a processing error it keeps draining (and recycling) so
+// producers and Drain never wedge, but drops the work.
+func (r *Runtime[T]) run(i int) {
+	defer r.wg.Done()
+	s := &r.shards[i]
+	for {
+		batch, ok := s.in.pop()
+		if !ok {
+			return
+		}
+		if r.err.Load() == nil {
+			// perr is read (not reassigned) by the closure so it is
+			// captured by value: reassigning it would force a
+			// capture-by-reference heap cell on every iteration.
+			if perr := r.cfg.Process(i, batch); perr != nil {
+				r.errOnce.Do(func() {
+					err := fmt.Errorf("serve: shard %d: %w", i, perr)
+					r.err.Store(&err)
+				})
+			} else {
+				s.packets.Add(uint64(len(batch)))
+				s.pkts.Add(int64(len(batch)))
+				s.batches.Add(1)
+			}
+		}
+		s.handled.Add(1)
+		s.free.tryPush(batch[:0]) // ring is sized to always fit
+	}
+}
+
+// Dispatch routes one item to its shard, pushing a full batch when the
+// shard's accumulator fills. It blocks only when the shard's queue is
+// full (backpressure).
+func (r *Runtime[T]) Dispatch(item T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dispatchLocked(item)
+}
+
+// DispatchAll routes a slice of items under one producer-lock
+// acquisition — the bulk path the UDP server and benchmarks use.
+func (r *Runtime[T]) DispatchAll(items []T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range items {
+		if err := r.dispatchLocked(items[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime[T]) dispatchLocked(item T) error {
+	if r.closed {
+		return fmt.Errorf("serve: runtime is closed")
+	}
+	n := r.cfg.Route(item)
+	if n < 0 || n >= len(r.shards) {
+		return fmt.Errorf("serve: route returned shard %d of %d", n, len(r.shards))
+	}
+	s := &r.shards[n]
+	s.fill = append(s.fill, item)
+	if len(s.fill) == cap(s.fill) {
+		r.pushLocked(s)
+	}
+	return nil
+}
+
+func (r *Runtime[T]) pushLocked(s *shard[T]) {
+	if len(s.fill) == 0 {
+		return
+	}
+	s.pushed.Add(1)
+	s.in.push(s.fill)
+	if next, ok := s.free.tryPop(); ok {
+		s.fill = next
+	} else {
+		s.fill = make([]T, 0, r.cfg.BatchSize)
+	}
+}
+
+// Flush pushes every shard's partial batch to its queue.
+func (r *Runtime[T]) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+}
+
+func (r *Runtime[T]) flushLocked() {
+	for i := range r.shards {
+		r.pushLocked(&r.shards[i])
+	}
+}
+
+// Drain flushes and then blocks until every shard has consumed its
+// queue — the runtime is idle when it returns (barring new
+// dispatches).
+func (r *Runtime[T]) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drainLocked()
+}
+
+func (r *Runtime[T]) drainLocked() {
+	r.flushLocked()
+	for i := range r.shards {
+		s := &r.shards[i]
+		for spins := 0; s.handled.Load() != s.pushed.Load(); spins++ {
+			backoff(spins)
+		}
+	}
+}
+
+// Quiesce drains every shard, then runs f while all shard goroutines
+// are provably idle (blocked popping empty queues) and producers are
+// held off by the runtime lock. This is the window in which the
+// elastic controller may read and replace per-shard plane state —
+// migration reads live planes, so it must not overlap Process. The
+// runtime resumes as soon as f returns.
+func (r *Runtime[T]) Quiesce(f func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("serve: runtime is closed")
+	}
+	r.drainLocked()
+	return f()
+}
+
+// Close flushes remaining batches, stops the shard goroutines, and
+// waits for them. It returns the first processing error (also
+// available via Err).
+func (r *Runtime[T]) Close() error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.flushLocked()
+		for i := range r.shards {
+			r.shards[i].in.close()
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return r.Err()
+}
+
+// Err returns the first Process error, if any.
+func (r *Runtime[T]) Err() error {
+	if p := r.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (r *Runtime[T]) Shards() int { return len(r.shards) }
+
+// ShardPackets returns how many items shard i has processed.
+func (r *Runtime[T]) ShardPackets(i int) uint64 { return r.shards[i].packets.Load() }
+
+// Packets returns the total items processed across shards.
+func (r *Runtime[T]) Packets() uint64 {
+	var n uint64
+	for i := range r.shards {
+		n += r.shards[i].packets.Load()
+	}
+	return n
+}
+
+// FlowRoute flow-hashes a key to one of n shards — the plain RSS
+// spreading rule. Use PartitionRoute instead when the program carries
+// a partitioned KVStore and sharded reads must stay bit-identical to
+// a single-shard run.
+func FlowRoute(n int) func(key uint64) int {
+	un := uint64(n)
+	return func(key uint64) int { return int(structures.Hash(key, 977) % un) }
+}
+
+// PartitionRoute maps a key to a shard by its KVStore partition
+// (parts as in the layout's kv_parts): all keys of one partition land
+// on one shard, so slot collisions — and therefore admission and
+// eviction — happen exactly as they would in a single-shard store,
+// and per-shard reads compose to a bit-identical whole-store view.
+// The partition hash (seed 977) is the one KVStore.slot uses.
+func PartitionRoute(parts, n int) func(key uint64) int {
+	up, un := uint64(parts), uint64(n)
+	return func(key uint64) int { return int(structures.Hash(key, 977) % up % un) }
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServerEndToEnd runs the whole stack on loopback: UDP server in
+// front of a sharded cache, the load generator driving skewed GETs,
+// and the OpShutdown handshake stopping the server cleanly.
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0",
+		NetCache: NetCacheConfig{
+			Layout:    testLayout(2, 1024, 8, 64),
+			Shards:    2,
+			BatchSize: 32,
+			Threshold: 4,
+		},
+		FlushEvery: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	res, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr().String(),
+		Clients:  3,
+		Requests: 12000,
+		Keys:     800,
+		Zipf:     1.2,
+		Seed:     5,
+		Window:   32,
+		Timeout:  2 * time.Second,
+		Shutdown: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop after OpShutdown")
+	}
+
+	if res.Sent != 12000 {
+		t.Fatalf("sent %d requests, want 12000", res.Sent)
+	}
+	if res.Received == 0 {
+		t.Fatal("no responses received")
+	}
+	if res.Hits == 0 {
+		t.Fatalf("skewed load produced no cache hits (misses %d, lost %d)", res.Misses, res.Lost)
+	}
+	if !res.ShutdownAcked {
+		t.Fatal("shutdown was not acknowledged")
+	}
+	// The server's view must agree with the client's: requests the
+	// clients got answers for were all served.
+	h, m, _ := srv.Cache().Stats()
+	if h+m < res.Received {
+		t.Fatalf("server served %d GETs but clients got %d replies", h+m, res.Received)
+	}
+	if srv.Drops() != 0 {
+		t.Fatalf("server dropped %d well-formed datagrams", srv.Drops())
+	}
+}
+
+// TestServerShutdownFromOutside covers the Shutdown path (no client
+// handshake): Serve must return promptly with the cache drained.
+func TestServerShutdownFromOutside(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:     "127.0.0.1:0",
+		NetCache: NetCacheConfig{Layout: testLayout(2, 256, 4, 32), Shards: 2},
+	})
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown returned %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}

@@ -47,7 +47,10 @@ func (s Stats) TotalALUOps() uint64 {
 // the elastic controller's atomic-swap protocol (internal/elastic.Gate)
 // keeps this invariant while still allowing reoptimization concurrent
 // with packet processing — the new pipeline is built and state-migrated
-// off to the side, and only the swap itself synchronizes.
+// off to the side, and only the swap itself synchronizes. To use more
+// than one core, run more than one owner: the sharded serving runtime
+// (internal/serve) gives each shard goroutine its own Pipeline and
+// reconciles per-shard state at read time.
 type Pipeline struct {
 	unit   *lang.Unit
 	layout *ilpgen.Layout

@@ -105,6 +105,38 @@ func (c *CountMinSketch) Add(key uint64, n uint32) uint32 {
 	return est
 }
 
+// Merge folds another sketch's counters into c, cell by cell with
+// saturating addition. Because every cell is a plain sum of increments,
+// merging sketches built from disjoint sub-streams reproduces — exactly
+// — the sketch of the concatenated stream, which is what makes per-core
+// sharding of a CMS sound: shards count their own keys into private
+// sketches and a reader folds them (internal/serve's merged read path).
+// Both sketches must have the same shape and the same hash seed; a
+// seed mismatch would silently mix two different hash families, so it
+// is rejected rather than tolerated.
+func (c *CountMinSketch) Merge(o *CountMinSketch) error {
+	if o == nil {
+		return fmt.Errorf("structures: cannot merge nil sketch")
+	}
+	if c.rows != o.rows || c.cols != o.cols {
+		return fmt.Errorf("structures: CMS shape mismatch: %dx%d vs %dx%d", c.rows, c.cols, o.rows, o.cols)
+	}
+	if c.seed != o.seed {
+		return fmt.Errorf("structures: CMS seed mismatch: %d vs %d", c.seed, o.seed)
+	}
+	for r := range c.counts {
+		dst, src := c.counts[r], o.counts[r]
+		for i := range dst {
+			if dst[i] > ^uint32(0)-src[i] {
+				dst[i] = ^uint32(0)
+			} else {
+				dst[i] += src[i]
+			}
+		}
+	}
+	return nil
+}
+
 // Clone returns an independent deep copy of the sketch.
 func (c *CountMinSketch) Clone() *CountMinSketch {
 	out := &CountMinSketch{rows: c.rows, cols: c.cols, seed: c.seed, counts: make([][]uint32, c.rows)}

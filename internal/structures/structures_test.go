@@ -491,3 +491,89 @@ func TestCloneKeepsSeed(t *testing.T) {
 		t.Fatal("clone estimate diverged")
 	}
 }
+
+func TestCMSMergeOfDisjointStreamsEqualsConcatenated(t *testing.T) {
+	// Shard a stream into disjoint sub-streams, sketch each shard
+	// separately, merge — every estimate must equal, exactly, the
+	// sketch of the concatenated stream. This additivity is what makes
+	// internal/serve's per-shard CMS sharding sound.
+	const shards = 4
+	golden, _ := NewCountMinSketchSeeded(3, 512, 7)
+	parts := make([]*CountMinSketch, shards)
+	for i := range parts {
+		parts[i], _ = NewCountMinSketchSeeded(3, 512, 7)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		key := uint64(rng.Intn(900))
+		golden.Update(key)
+		parts[Hash(key, 977)%shards].Update(key)
+	}
+	merged, _ := NewCountMinSketchSeeded(3, 512, 7)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if got, want := merged.Estimate(key), golden.Estimate(key); got != want {
+			t.Fatalf("key %d: merged estimate %d != concatenated-stream estimate %d", key, got, want)
+		}
+	}
+}
+
+func TestCMSMergeRejectsMismatches(t *testing.T) {
+	base, _ := NewCountMinSketchSeeded(3, 512, 7)
+	if err := base.Merge(nil); err == nil {
+		t.Error("merging nil sketch did not fail")
+	}
+	wrongShape, _ := NewCountMinSketchSeeded(3, 256, 7)
+	if err := base.Merge(wrongShape); err == nil {
+		t.Error("merging mismatched shape did not fail")
+	}
+	wrongRows, _ := NewCountMinSketchSeeded(4, 512, 7)
+	if err := base.Merge(wrongRows); err == nil {
+		t.Error("merging mismatched rows did not fail")
+	}
+	wrongSeed, _ := NewCountMinSketchSeeded(3, 512, 8)
+	if err := base.Merge(wrongSeed); err == nil {
+		t.Error("merging mismatched seed did not fail — would mix hash families")
+	}
+	// After the rejections, base must be untouched.
+	if got := base.Estimate(1); got != 0 {
+		t.Errorf("rejected merges mutated the sketch: estimate %d", got)
+	}
+}
+
+func TestCMSMergeSaturates(t *testing.T) {
+	a, _ := NewCountMinSketch(1, 8)
+	b, _ := NewCountMinSketch(1, 8)
+	a.Add(1, ^uint32(0)-3)
+	b.Add(1, 10)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(1); got != ^uint32(0) {
+		t.Errorf("merge wrapped instead of saturating: estimate %d", got)
+	}
+}
+
+func TestCMSMergeEmptyIsIdentity(t *testing.T) {
+	a, _ := NewCountMinSketch(2, 64)
+	for k := uint64(0); k < 32; k++ {
+		a.Update(k)
+	}
+	before := make([]uint32, 32)
+	for k := range before {
+		before[k] = a.Estimate(uint64(k))
+	}
+	empty, _ := NewCountMinSketch(2, 64)
+	if err := a.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	for k := range before {
+		if got := a.Estimate(uint64(k)); got != before[k] {
+			t.Errorf("merging an empty sketch changed key %d: %d -> %d", k, before[k], got)
+		}
+	}
+}
