@@ -8,16 +8,17 @@ GO        ?= go
 # The benchmark families CI measures: the ILP solver scaling pair
 # (gated on ns/op), the sim engine benchmarks (plan replay gated on
 # both ns/op and allocs/op), the sharded serving runtime (gated on
-# allocs/op — its hot loop is pinned at zero), plus the Figure 9 and
-# drift end-to-end benchmarks (reported, never gated — see
-# cmd/benchgate).
-BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|ServeScaling
+# allocs/op — its hot loop is pinned at zero), the translation
+# validator (gated on ns/op — a path-count blowup shows up here), plus
+# the Figure 9 and drift end-to-end benchmarks (reported, never gated
+# — see cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|ServeScaling|Certify
 BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
 .PHONY: build test race lint check bench bench-baseline bench-gate \
-	difftest fuzz-smoke serve-smoke
+	difftest fuzz-smoke serve-smoke certify
 
 # Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md).
 FUZZTIME ?= 30s
@@ -54,10 +55,28 @@ bench-gate:
 bench-baseline:
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write
 
-# difftest runs the full differential-testing matrix offline: five
+# difftest runs the full differential-testing matrix offline: six
 # oracles x four apps x three budgets (see docs/DIFFTEST.md).
 difftest:
 	$(GO) run ./cmd/difftest -seed 1 -n 10000
+
+# certify compiles every benchmark app with the translation validator
+# enabled, writing one equivalence certificate per app to $(CERTDIR)
+# (CI uploads them as artifacts), then runs the examples — which also
+# compile with Certify — so a validator regression fails the build
+# before any generated P4 is trusted (see
+# docs/TRANSLATION_VALIDATION.md).
+CERTDIR ?= certs
+CERTAPPS := netcache sketchlearn precision conquest
+certify:
+	mkdir -p $(CERTDIR)
+	for app in $(CERTAPPS); do \
+		$(GO) run ./cmd/p4allc -app $$app -certify \
+			-cert $(CERTDIR)/$$app.json -o /dev/null || exit 1; \
+	done
+	for ex in quickstart portability netcache sketchlearn; do \
+		$(GO) run ./examples/$$ex > /dev/null || exit 1; \
+	done
 
 # fuzz-smoke gives each coverage-guided target a short budget on top of
 # the checked-in corpora. Crashers land in

@@ -208,7 +208,7 @@ func main() {
 	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
-	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan`, "regexp selecting the benchmarks that can fail the ns/op gate")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkCertify`, "regexp selecting the benchmarks that can fail the ns/op gate")
 	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
 	flag.Parse()
 

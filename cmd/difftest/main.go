@@ -1,8 +1,8 @@
 // Command difftest runs the differential testing harness
 // (internal/difftest) offline: every benchmark app is compiled at
-// several memory budgets and checked under the five oracles — layout
+// several memory budgets and checked under the six oracles — layout
 // invariance, sim vs golden structures, snapshot round-trip, engine
-// equivalence, and migration soundness. A clean run exits 0; any
+// equivalence, migration soundness, and translation validation. A clean run exits 0; any
 // oracle violation prints a (shrunken) repro and exits 1.
 //
 //	go run ./cmd/difftest -seed 1 -n 10000
@@ -29,7 +29,7 @@ func main() {
 	n := flag.Int("n", 10000, "packets per generated stream")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all four)")
 	budgetsFlag := flag.String("budgets", "", "comma-separated per-stage memory budgets in bits (default: 524288,1048576,2097152)")
-	oraclesFlag := flag.String("oracles", "", "comma-separated oracle subset: layout,golden,snapshot,engine,migrate (default: all)")
+	oraclesFlag := flag.String("oracles", "", "comma-separated oracle subset: layout,golden,snapshot,engine,certify,migrate (default: all)")
 	engine := flag.String("engine", "", "sim engine the replay oracles use: plan or interp (default plan)")
 	shrink := flag.Bool("shrink", true, "minimize failing streams before reporting")
 	quiet := flag.Bool("q", false, "suppress progress lines")

@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"p4all/internal/apps"
-	"p4all/internal/check"
 	"p4all/internal/core"
 	"p4all/internal/ilp"
 	"p4all/internal/obs"
@@ -40,6 +39,9 @@ func main() {
 		appFlag     = flag.String("app", "", "compile a built-in benchmark app (netcache, sketchlearn, precision, conquest) instead of a source file")
 		traceFlag   = flag.String("trace", "", "write a JSONL pipeline trace to this file (see docs/OBSERVABILITY.md)")
 		summaryFlag = flag.Bool("summary", false, "print an observability summary table to stderr")
+		certifyFlag = flag.Bool("certify", false, "run the translation validator and fail unless the compile is proved (see docs/TRANSLATION_VALIDATION.md)")
+		certFlag    = flag.String("cert", "", "write the equivalence certificate JSON to this file (implies -certify)")
+		boundsFlag  = flag.String("bounds", "warn", "static bounds findings: warn (report) or error (fail the compile)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4allc [flags] program.p4all\n")
@@ -47,7 +49,13 @@ func main() {
 	}
 	flag.Parse()
 
-	src, err := loadSource(*appFlag)
+	if *boundsFlag != "warn" && *boundsFlag != "error" {
+		fatal(fmt.Errorf("-bounds must be warn or error, got %q", *boundsFlag))
+	}
+	if *certFlag != "" {
+		*certifyFlag = true
+	}
+	src, name, err := loadSource(*appFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,7 +68,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := core.Options{Tracer: tracer}
+	opts := core.Options{Tracer: tracer, Certify: *certifyFlag, Name: name}
 	if *exactFlag {
 		opts.Solver = ilp.Options{Gap: -1, NodeLimit: 1 << 20, TimeLimit: time.Hour}
 	}
@@ -79,8 +87,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, w := range check.Bounds(res.Unit) {
+	for _, w := range res.Warnings {
 		fmt.Fprintf(os.Stderr, "p4allc: warning: %s\n", w)
+	}
+	if *boundsFlag == "error" && len(res.Warnings) > 0 {
+		fmt.Fprintf(os.Stderr, "p4allc: %d bounds warning(s) under -bounds=error\n", len(res.Warnings))
+		os.Exit(1)
 	}
 	if *layoutFlag {
 		fmt.Fprint(os.Stderr, res.Layout.String())
@@ -91,6 +103,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ILP: %d variables, %d constraints, %d nodes, certified gap %.2f%%\n",
 			res.Layout.Stats.Vars, res.Layout.Stats.Constrs, res.Layout.Stats.Nodes, 100*res.Layout.Stats.Gap)
 	}
+	if *certifyFlag {
+		cert := res.Certificate
+		fmt.Fprintln(os.Stderr, cert.Summary())
+		if *certFlag != "" {
+			data, err := cert.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*certFlag, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if !cert.Proved() {
+			for _, ob := range cert.Equivalence.Obligations {
+				fmt.Fprintf(os.Stderr, "p4allc: obligation: %s: %s (%d paths)\n", ob.Kind, ob.Detail, ob.Paths)
+			}
+			for _, c := range cert.Audit.Checks {
+				if !c.OK {
+					fmt.Fprintf(os.Stderr, "p4allc: audit: %s: %s\n", c.Name, c.Detail)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "p4allc: translation validation failed")
+			os.Exit(1)
+		}
+	}
 	if *outFlag == "" {
 		fmt.Print(res.P4)
 		return
@@ -100,27 +137,27 @@ func main() {
 	}
 }
 
-// loadSource returns the program text: a built-in benchmark app when
-// -app was given (no positional argument needed), else the single
-// positional source file.
-func loadSource(appName string) (string, error) {
+// loadSource returns the program text and its display name: a built-in
+// benchmark app when -app was given (no positional argument needed),
+// else the single positional source file.
+func loadSource(appName string) (string, string, error) {
 	if appName != "" {
 		if flag.NArg() != 0 {
-			return "", fmt.Errorf("-app %s and a source file are mutually exclusive", appName)
+			return "", "", fmt.Errorf("-app %s and a source file are mutually exclusive", appName)
 		}
 		for _, app := range apps.All() {
 			if strings.EqualFold(app.Name, appName) {
-				return app.Source, nil
+				return app.Source, app.Name, nil
 			}
 		}
-		return "", fmt.Errorf("unknown app %q (builtin: netcache, sketchlearn, precision, conquest)", appName)
+		return "", "", fmt.Errorf("unknown app %q (builtin: netcache, sketchlearn, precision, conquest)", appName)
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
-	return string(src), err
+	return string(src), flag.Arg(0), err
 }
 
 func resolveTarget(spec string, memOverride int) (pisa.Target, error) {

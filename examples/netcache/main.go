@@ -22,9 +22,12 @@ func main() {
 	fmt.Printf("NetCache in P4All: %d source lines (elastic)\n\n", eval.CountLoC(app.Source))
 
 	target := p4all.EvalTarget(7 * pisa.Mb / 4) // the paper's 1.75 Mb/stage
-	res, err := p4all.Compile(app.Source, target, p4all.Options{})
+	res, err := p4all.Compile(app.Source, target, p4all.Options{Certify: true})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !res.Certificate.Proved() {
+		log.Fatalf("translation validation failed: %s", res.Certificate.Summary())
 	}
 
 	l := res.Layout

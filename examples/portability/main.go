@@ -46,9 +46,12 @@ optimize 0.5 * (cms_rows * cms_cols) + 0.5 * (bf_rows * bf_bits);
 	fmt.Printf("%-18s %9s %9s %9s %9s %12s\n",
 		"target", "cms_rows", "cms_cols", "bf_rows", "bf_bits", "compile")
 	for _, tgt := range targets {
-		res, err := p4all.Compile(source, tgt, p4all.Options{})
+		res, err := p4all.Compile(source, tgt, p4all.Options{Certify: true})
 		if err != nil {
 			log.Fatalf("%s: %v", tgt.Name, err)
+		}
+		if !res.Certificate.Proved() {
+			log.Fatalf("%s: translation validation failed: %s", tgt.Name, res.Certificate.Summary())
 		}
 		l := res.Layout
 		fmt.Printf("%-18s %9d %9d %9d %9d %12v\n",

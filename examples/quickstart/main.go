@@ -33,10 +33,17 @@ optimize cms_rows * cms_cols;
 	// stateless ALUs, 4096 PHV bits, 1 Mb of register memory per stage.
 	target := p4all.EvalTarget(p4all.Mb)
 
-	res, err := p4all.Compile(source, target, p4all.Options{})
+	// Certify: true runs the translation validator after codegen and
+	// attaches the equivalence certificate to the result (see
+	// docs/TRANSLATION_VALIDATION.md).
+	res, err := p4all.Compile(source, target, p4all.Options{Certify: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !res.Certificate.Proved() {
+		log.Fatalf("translation validation failed: %s", res.Certificate.Summary())
+	}
+	fmt.Printf("certificate: %s\n\n", res.Certificate.Summary())
 
 	fmt.Println("== The compiler stretched the sketch to fit the target ==")
 	fmt.Printf("cms_rows = %d\n", res.Layout.Symbolic("cms_rows"))

@@ -18,9 +18,15 @@ import (
 
 func main() {
 	app := apps.SketchLearn()
-	res, err := p4all.Compile(app.Source, p4all.EvalTarget(p4all.Mb), p4all.Options{SkipCodegen: true})
+	// Certify forces codegen to run (the validator needs the concrete
+	// program) even though this example never prints the P4 text.
+	res, err := p4all.Compile(app.Source, p4all.EvalTarget(p4all.Mb),
+		p4all.Options{SkipCodegen: true, Certify: true})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !res.Certificate.Proved() {
+		log.Fatalf("translation validation failed: %s", res.Certificate.Summary())
 	}
 
 	fmt.Println("== Compiled SketchLearn level shapes ==")

@@ -126,6 +126,41 @@ control main { apply { a()[7]; } }
 	}
 }
 
+func TestConstIndexOutsideLoopFallsBackToConstCheck(t *testing.T) {
+	// Regression: a()[k] outside any elastic loop reaches the IdxParam
+	// case with no loop symbolic. The checker must fall back to the
+	// invocation's constant index — proving the in-bounds call safe
+	// instead of warning "indexed call outside any elastic loop".
+	safe := `
+struct meta { bit<32>[4] v; bit<32> acc; }
+action a()[int i] { meta.acc = meta.v[i]; }
+control main { apply { a()[3]; } }
+`
+	if ws := Bounds(resolve(t, safe)); len(ws) != 0 {
+		t.Errorf("in-bounds const-index call outside a loop flagged: %v", ws)
+	}
+
+	// And the out-of-bounds call must get the precise constant-index
+	// diagnosis, not the generic outside-a-loop one.
+	unsafe := `
+struct meta { bit<32>[4] v; bit<32> acc; }
+action a()[int i] { meta.acc = meta.v[i]; }
+control main { apply { a()[4]; } }
+`
+	ws := Bounds(resolve(t, unsafe))
+	if len(ws) == 0 {
+		t.Fatal("constant index 4 into extent 4 not flagged")
+	}
+	if ws[0].Index != "4" || !strings.Contains(ws[0].Reason, "extent is 4") {
+		t.Errorf("fallback lost the constant-index diagnosis: %v", ws[0])
+	}
+	for _, w := range ws {
+		if strings.Contains(w.Reason, "outside any elastic loop") {
+			t.Errorf("const-index call misdiagnosed as loopless: %v", w)
+		}
+	}
+}
+
 func TestConstIndexIntoSymbolicExtent(t *testing.T) {
 	// idx 2 into an array sized s: safe only with assume s >= 3.
 	unsafe := `

@@ -23,12 +23,14 @@ import (
 	"strings"
 	"time"
 
+	"p4all/internal/check"
 	"p4all/internal/codegen"
 	"p4all/internal/ilp"
 	"p4all/internal/ilpgen"
 	"p4all/internal/lang"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
+	"p4all/internal/tv"
 	"p4all/internal/unroll"
 )
 
@@ -45,6 +47,13 @@ type Options struct {
 	// SkipCodegen stops after solving (benchmarks that only need the
 	// layout).
 	SkipCodegen bool
+	// Certify runs the translation validator (internal/tv) after code
+	// generation and attaches the equivalence certificate to the
+	// result. It forces code generation even under SkipCodegen.
+	Certify bool
+	// Name labels the compilation in traces and certificates (the app
+	// or source-file name).
+	Name string
 	// Tracer receives per-phase spans and solver progress events. Nil
 	// (the default) disables tracing at near-zero cost.
 	Tracer *obs.Tracer
@@ -73,11 +82,12 @@ type Phases struct {
 	Generate time.Duration
 	Solve    time.Duration
 	Codegen  time.Duration
+	Certify  time.Duration
 }
 
 // Total returns the end-to-end compile time.
 func (p Phases) Total() time.Duration {
-	return p.Parse + p.Bounds + p.Generate + p.Solve + p.Codegen
+	return p.Parse + p.Bounds + p.Generate + p.Solve + p.Codegen + p.Certify
 }
 
 // Result is a completed compilation.
@@ -87,8 +97,16 @@ type Result struct {
 	Bounds *unroll.Result
 	ILP    *ilpgen.ILP
 	Layout *ilpgen.Layout
-	P4     string
-	Phases Phases
+	// Concrete is the structured form of the emitted program; P4 is
+	// its rendering (both set unless codegen was skipped).
+	Concrete *codegen.Concrete
+	P4       string
+	// Warnings carries check.Bounds findings for the compiled unit —
+	// every compile surfaces them uniformly.
+	Warnings []check.Warning
+	// Certificate is the translation-validation result (Options.Certify).
+	Certificate *tv.Certificate
+	Phases      Phases
 }
 
 // Compile runs the full P4All pipeline on source for the target.
@@ -126,7 +144,7 @@ func CompileUnit(u *lang.Unit, target pisa.Target, opts Options) (*Result, error
 // solve → codegen), attaching phase spans under root.
 func compileUnit(u *lang.Unit, target pisa.Target, opts Options, root *obs.Span) (*Result, error) {
 	opts = opts.withDefaults()
-	res := &Result{Unit: u, Target: target}
+	res := &Result{Unit: u, Target: target, Warnings: check.Bounds(u)}
 
 	start := time.Now()
 	sp := root.Child("bounds")
@@ -215,18 +233,29 @@ func compileUnit(u *lang.Unit, target pisa.Target, opts Options, root *obs.Span)
 	res.Layout = layout
 	res.Phases.Solve = time.Since(start)
 
-	if !opts.SkipCodegen {
+	if !opts.SkipCodegen || opts.Certify {
 		start = time.Now()
 		sp = root.Child("codegen")
-		p4, err := codegen.Generate(u, layout)
+		concrete, err := codegen.Build(u, layout)
 		if err != nil {
 			sp.End()
 			return nil, fmt.Errorf("p4all: code generation: %w", err)
 		}
+		p4 := codegen.Render(concrete)
 		sp.SetAttrs(obs.Int("p4_lines", strings.Count(p4, "\n")+1))
 		sp.End()
+		res.Concrete = concrete
 		res.P4 = p4
 		res.Phases.Codegen = time.Since(start)
+	}
+
+	if opts.Certify {
+		start = time.Now()
+		res.Certificate = tv.Validate(u, layout, res.Concrete, tv.Options{
+			Name:   opts.Name,
+			Tracer: opts.Tracer,
+		})
+		res.Phases.Certify = time.Since(start)
 	}
 	return res, nil
 }

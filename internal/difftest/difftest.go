@@ -1,7 +1,7 @@
 // Package difftest is the differential and metamorphic testing harness
 // for the compiler pipeline: it executes the same elastic program under
 // multiple independently derived configurations and demands
-// bit-identical observable behavior. Five oracles cover the pipeline's
+// bit-identical observable behavior. Six oracles cover the pipeline's
 // correctness surface:
 //
 //  1. layout invariance — one program with its symbolics pinned must
@@ -16,7 +16,10 @@
 //     reference AST interpreter must produce identical outputs,
 //     register end-state, and Stats counters for every packet;
 //  5. migration soundness — elastic CMS state migration never
-//     underestimates relative to a fresh sketch fed the same suffix.
+//     underestimates relative to a fresh sketch fed the same suffix;
+//  6. translation validation — every compiled layout must certify:
+//     the emitted program symbolically equivalent to its source and the
+//     layout clean under the independent resource audit (internal/tv).
 //
 // The harness is deterministic: every stream and every auxiliary
 // choice derives from Config.Seed. cmd/difftest drives long offline
@@ -159,11 +162,12 @@ const (
 	OracleSnapshot = "snapshot"
 	OracleEngine   = "engine"
 	OracleMigrate  = "migrate"
+	OracleCertify  = "certify"
 )
 
 // AllOracles lists every oracle in run order.
 func AllOracles() []string {
-	return []string{OracleGolden, OracleSnapshot, OracleEngine, OracleLayout, OracleMigrate}
+	return []string{OracleGolden, OracleSnapshot, OracleEngine, OracleCertify, OracleLayout, OracleMigrate}
 }
 
 // Config parameterizes one harness run.
@@ -177,7 +181,7 @@ type Config struct {
 	Budgets []int
 	// Apps filters the suite by name; empty runs all four.
 	Apps []string
-	// Oracles filters the oracle set; empty runs all five.
+	// Oracles filters the oracle set; empty runs all six.
 	Oracles []string
 	// Engine selects the sim execution engine ("plan" or "interp") the
 	// golden, snapshot, and layout oracles replay with. Empty means
@@ -291,6 +295,9 @@ func Run(cfg Config) (*Report, error) {
 			}
 			if want[OracleEngine] {
 				checkEngines(rep, cfg, spec, res, budget, stream)
+			}
+			if want[OracleCertify] {
+				checkCertify(rep, cfg, spec, res, budget)
 			}
 			if want[OracleLayout] && (cfg.LayoutVariants == 0 || layoutRuns < cfg.LayoutVariants) {
 				layoutRuns++

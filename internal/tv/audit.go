@@ -1,0 +1,582 @@
+package tv
+
+import (
+	"fmt"
+	"sort"
+
+	"p4all/internal/dep"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/unroll"
+)
+
+// This file implements the resource audit: an independent re-derivation
+// of the stage, memory, ALU, and PHV budgets implied by a solved layout,
+// checked directly against the pisa target spec. It rebuilds the
+// dependency graph from the source at the solved iteration counts and
+// trusts nothing from ilpgen's constraint matrix — only the layout's
+// observable outputs (placements, register placements, symbolic values).
+
+// Check is one audited invariant.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"` // failure description
+}
+
+// Budget is one re-derived resource consumption row.
+type Budget struct {
+	Resource string `json:"resource"`
+	Stage    int    `json:"stage"` // -1 for whole-pipeline resources
+	Used     int64  `json:"used"`
+	Limit    int64  `json:"limit"`
+}
+
+// AuditResult is the audit half of a certificate.
+type AuditResult struct {
+	Checks  []Check  `json:"checks"`
+	Budgets []Budget `json:"budgets"`
+}
+
+// Failed reports whether any check failed.
+func (a *AuditResult) Failed() bool {
+	for _, c := range a.Checks {
+		if !c.OK {
+			return true
+		}
+	}
+	return false
+}
+
+type auditor struct {
+	u      *lang.Unit
+	layout *ilpgen.Layout
+	res    AuditResult
+
+	counts     dep.Counts
+	graph      *dep.Graph
+	stageOf    map[string]int // instance name -> placed stage
+	nodeStg    map[int]int    // rebuilt node id -> stage (when consistent)
+	recompHf   []int64
+	recompHl   []int64
+	recompHash []int64
+	recompMem  []int64
+}
+
+// Audit re-derives every resource budget from (unit, layout) and checks
+// it against the layout's target.
+func Audit(u *lang.Unit, layout *ilpgen.Layout) *AuditResult {
+	a := &auditor{
+		u:       u,
+		layout:  layout,
+		stageOf: make(map[string]int),
+		nodeStg: make(map[int]int),
+		counts:  dep.Counts{},
+	}
+	stages := layout.Target.Stages
+	a.recompHf = make([]int64, stages)
+	a.recompHl = make([]int64, stages)
+	a.recompHash = make([]int64, stages)
+	a.recompMem = make([]int64, stages)
+
+	a.checkSymbolics()
+	a.checkAssumes()
+	for _, l := range u.Loops {
+		a.counts[l.Sym] = int(layout.Symbolics[l.Sym.Name])
+	}
+	a.graph = dep.Build(u, a.counts, layout.Target)
+	a.checkBijection()
+	a.checkNodeStages()
+	a.checkEdges()
+	a.checkRegisters()
+	a.checkALUs()
+	a.checkMemory()
+	a.checkStageUse()
+	a.checkPHV()
+
+	sort.Slice(a.res.Checks, func(i, j int) bool { return a.res.Checks[i].Name < a.res.Checks[j].Name })
+	sort.Slice(a.res.Budgets, func(i, j int) bool {
+		if a.res.Budgets[i].Resource != a.res.Budgets[j].Resource {
+			return a.res.Budgets[i].Resource < a.res.Budgets[j].Resource
+		}
+		return a.res.Budgets[i].Stage < a.res.Budgets[j].Stage
+	})
+	return &a.res
+}
+
+// check records one invariant. Only the first failure detail per named
+// check is kept (details stay bounded and deterministic).
+func (a *auditor) check(name string, ok bool, detail string) {
+	for i := range a.res.Checks {
+		if a.res.Checks[i].Name == name {
+			if !ok && a.res.Checks[i].OK {
+				a.res.Checks[i].OK = false
+				a.res.Checks[i].Detail = detail
+			}
+			return
+		}
+	}
+	c := Check{Name: name, OK: ok}
+	if !ok {
+		c.Detail = detail
+	}
+	a.res.Checks = append(a.res.Checks, c)
+}
+
+// solved returns the concrete value of a size expression under the
+// layout's assignment.
+func (a *auditor) solved(s lang.SizeExpr) int64 {
+	if s.IsSymbolic() {
+		return a.layout.Symbolics[s.Sym.Name]
+	}
+	return s.Const
+}
+
+// checkSymbolics verifies every declared symbolic got a value within
+// the assume-derived interval.
+func (a *auditor) checkSymbolics() {
+	bounds := unroll.AssumeBounds(a.u)
+	ok := true
+	detail := ""
+	for _, sym := range a.u.Symbolics {
+		v, have := a.layout.Symbolics[sym.Name]
+		if !have {
+			ok, detail = false, fmt.Sprintf("symbolic %s has no solved value", sym.Name)
+			break
+		}
+		b := bounds[sym]
+		if v < b.Lo || (b.Hi != unroll.NoUpper && v > b.Hi) {
+			ok, detail = false, fmt.Sprintf("symbolic %s = %d outside assume interval [%d, %d]", sym.Name, v, b.Lo, b.Hi)
+			break
+		}
+	}
+	a.check("symbolic-assignment", ok, detail)
+}
+
+// checkAssumes re-evaluates every assume predicate numerically under
+// the solved assignment — independently of the linearization ilpgen fed
+// the solver.
+func (a *auditor) checkAssumes() {
+	for _, as := range a.u.Assumes {
+		v, err := a.evalInt(as.Cond)
+		if err != nil {
+			a.check("assume-predicates", false, fmt.Sprintf("cannot evaluate %s: %v", lang.PrintExpr(as.Cond), err))
+			return
+		}
+		if v == 0 {
+			a.check("assume-predicates", false, fmt.Sprintf("assume %s is false under the solved assignment", lang.PrintExpr(as.Cond)))
+			return
+		}
+	}
+	a.check("assume-predicates", true, "")
+}
+
+// evalInt evaluates a closed integer expression over symbolic values
+// and program constants (comparisons and connectives yield 0/1).
+func (a *auditor) evalInt(e lang.Expr) (int64, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return e.Value, nil
+	case *lang.BoolLit:
+		if e.Value {
+			return 1, nil
+		}
+		return 0, nil
+	case *lang.Unary:
+		x, err := a.evalInt(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case lang.MINUS:
+			return -x, nil
+		case lang.NOT:
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("operator %s", e.Op)
+	case *lang.Binary:
+		x, err := a.evalInt(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := a.evalInt(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case lang.PLUS:
+			return x + y, nil
+		case lang.MINUS:
+			return x - y, nil
+		case lang.STAR:
+			return x * y, nil
+		case lang.SLASH:
+			if y == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return x / y, nil
+		case lang.PCT:
+			if y == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			return x % y, nil
+		case lang.LT:
+			return b2i(x < y), nil
+		case lang.LE:
+			return b2i(x <= y), nil
+		case lang.GT:
+			return b2i(x > y), nil
+		case lang.GE:
+			return b2i(x >= y), nil
+		case lang.EQ:
+			return b2i(x == y), nil
+		case lang.NE:
+			return b2i(x != y), nil
+		case lang.AND:
+			return b2i(x != 0 && y != 0), nil
+		case lang.OR:
+			return b2i(x != 0 || y != 0), nil
+		}
+		return 0, fmt.Errorf("operator %s", e.Op)
+	case *lang.Ref:
+		if !e.IsSimpleIdent() {
+			return 0, fmt.Errorf("non-scalar reference %s", lang.PrintExpr(e))
+		}
+		if sym := a.u.SymbolicByName(e.Base()); sym != nil {
+			return a.layout.Symbolics[sym.Name], nil
+		}
+		if v, ok := a.u.Consts[e.Base()]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("unknown name %s", e.Base())
+	}
+	return 0, fmt.Errorf("expression %T", e)
+}
+
+// checkBijection verifies the placements and the instances implied by
+// the solved iteration counts are in one-to-one correspondence.
+func (a *auditor) checkBijection() {
+	instances := dep.Enumerate(a.u, a.counts)
+	want := make(map[string]bool, len(instances))
+	for _, in := range instances {
+		want[in.Name()] = true
+	}
+	ok := true
+	detail := ""
+	placed := make(map[string]bool, len(a.layout.Placements))
+	for _, pl := range a.layout.Placements {
+		if placed[pl.Name] {
+			ok, detail = false, fmt.Sprintf("instance %s placed twice", pl.Name)
+			break
+		}
+		placed[pl.Name] = true
+		a.stageOf[pl.Name] = pl.Stage
+		if pl.Stage < 0 || pl.Stage >= a.layout.Target.Stages {
+			ok, detail = false, fmt.Sprintf("instance %s placed in nonexistent stage %d", pl.Name, pl.Stage)
+			break
+		}
+		if !want[pl.Name] {
+			ok, detail = false, fmt.Sprintf("placement %s does not correspond to any source instance at the solved counts", pl.Name)
+			break
+		}
+	}
+	if ok {
+		var missing []string
+		for name := range want {
+			if !placed[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			ok, detail = false, fmt.Sprintf("source instance %s has no placement", missing[0])
+		}
+	}
+	a.check("placement-bijection", ok, detail)
+}
+
+// checkNodeStages verifies every rebuilt dependency node (instances
+// forced to co-locate by shared register state) occupies one stage.
+func (a *auditor) checkNodeStages() {
+	ok := true
+	detail := ""
+	for _, n := range a.graph.Nodes {
+		stage := -1
+		for _, in := range n.Instances {
+			s, have := a.stageOf[in.Name()]
+			if !have {
+				continue // bijection check reports this
+			}
+			if stage == -1 {
+				stage = s
+			} else if s != stage {
+				ok = false
+				detail = fmt.Sprintf("instances %s must share a stage but are split across %d and %d", n.Name(), stage, s)
+			}
+		}
+		if stage >= 0 {
+			a.nodeStg[n.ID] = stage
+		}
+	}
+	a.check("node-stage-sharing", ok, detail)
+}
+
+// checkEdges re-verifies precedence (strictly increasing stages) and
+// exclusion (distinct stages) over the rebuilt graph.
+func (a *auditor) checkEdges() {
+	precOK, precDetail := true, ""
+	for i, succ := range a.graph.Prec {
+		si, haveI := a.nodeStg[i]
+		for _, j := range succ {
+			sj, haveJ := a.nodeStg[j]
+			if !haveI || !haveJ {
+				continue
+			}
+			if si >= sj {
+				precOK = false
+				precDetail = fmt.Sprintf("%s (stage %d) must precede %s (stage %d)",
+					a.graph.Nodes[i].Name(), si, a.graph.Nodes[j].Name(), sj)
+			}
+		}
+	}
+	a.check("precedence", precOK, precDetail)
+
+	exclOK, exclDetail := true, ""
+	for i, ex := range a.graph.Excl {
+		si, haveI := a.nodeStg[i]
+		for _, j := range ex {
+			if j <= i {
+				continue
+			}
+			sj, haveJ := a.nodeStg[j]
+			if !haveI || !haveJ {
+				continue
+			}
+			if si == sj {
+				exclOK = false
+				exclDetail = fmt.Sprintf("%s and %s must not share stage %d",
+					a.graph.Nodes[i].Name(), a.graph.Nodes[j].Name(), si)
+			}
+		}
+	}
+	a.check("exclusion", exclOK, exclDetail)
+}
+
+// checkRegisters verifies every register placement's shape: instance
+// index within the solved extent, cells matching the solved size, bits
+// summing to cells×width, stage occupancy legal for the target, and
+// co-location with the dependency node that accesses the instance.
+func (a *auditor) checkRegisters() {
+	ok := true
+	detail := ""
+	fail := func(f string, args ...interface{}) {
+		if ok {
+			ok = false
+			detail = fmt.Sprintf(f, args...)
+		}
+	}
+	t := a.layout.Target
+	for _, rp := range a.layout.Registers {
+		reg := a.u.RegisterByName(rp.Register)
+		if reg == nil {
+			fail("placed register %s is not declared", rp.Register)
+			continue
+		}
+		count := a.solved(reg.Count)
+		if int64(rp.Index) < 0 || int64(rp.Index) >= count {
+			fail("register %s/%d outside the solved extent %d", rp.Register, rp.Index, count)
+		}
+		if rp.Width != reg.Width {
+			fail("register %s/%d emitted with width %d, declared %d", rp.Register, rp.Index, rp.Width, reg.Width)
+		}
+		wantCells := a.solved(reg.Cells)
+		if rp.Cells != wantCells {
+			fail("register %s/%d has %d cells, solved size is %d", rp.Register, rp.Index, rp.Cells, wantCells)
+		}
+		var total int64
+		for _, s := range rp.Stages {
+			if s < 0 || s >= t.Stages {
+				fail("register %s/%d allocated in nonexistent stage %d", rp.Register, rp.Index, s)
+				continue
+			}
+			total += rp.Bits[s]
+		}
+		if total != rp.Cells*int64(rp.Width) {
+			fail("register %s/%d allocates %d bits for %d cells of width %d", rp.Register, rp.Index, total, rp.Cells, rp.Width)
+		}
+		if len(rp.Stages) > 1 {
+			if !t.AllowRegisterSpread {
+				fail("register %s/%d spans %d stages but the target forbids spreading", rp.Register, rp.Index, len(rp.Stages))
+			}
+			for i := 1; i < len(rp.Stages); i++ {
+				if rp.Stages[i] != rp.Stages[i-1]+1 {
+					fail("register %s/%d spans non-consecutive stages %v", rp.Register, rp.Index, rp.Stages)
+				}
+			}
+		}
+		// Co-location: the node hosting the accesses must sit where the
+		// memory is. Without spreading that stage is unique; with
+		// spreading the node's recorded stage is its first copy, which
+		// must be one of the occupied stages.
+		if nid, have := a.graph.RegNodes[dep.RegInstance{Name: rp.Register, Index: rp.Index}]; have {
+			if ns, placed := a.nodeStg[nid]; placed && len(rp.Stages) > 0 {
+				if !t.AllowRegisterSpread {
+					if len(rp.Stages) != 1 || rp.Stages[0] != ns {
+						fail("register %s/%d lives in stages %v but its actions run in stage %d", rp.Register, rp.Index, rp.Stages, ns)
+					}
+				} else {
+					found := false
+					for _, s := range rp.Stages {
+						if s == ns {
+							found = true
+						}
+					}
+					if !found {
+						fail("register %s/%d spread over %v excludes its actions' stage %d", rp.Register, rp.Index, rp.Stages, ns)
+					}
+				}
+			}
+		}
+	}
+	a.check("register-shape", ok, detail)
+}
+
+// checkALUs recomputes per-stage ALU demand from the rebuilt graph and
+// checks it against the target's F/L/hash-unit limits.
+func (a *auditor) checkALUs() {
+	t := a.layout.Target
+	for _, n := range a.graph.Nodes {
+		s, have := a.nodeStg[n.ID]
+		if !have {
+			continue
+		}
+		a.recompHf[s] += int64(n.Hf)
+		a.recompHl[s] += int64(n.Hl)
+		a.recompHash[s] += int64(n.Hashes)
+	}
+	ok := true
+	detail := ""
+	for s := 0; s < t.Stages; s++ {
+		if a.recompHf[s] > 0 || a.recompHl[s] > 0 {
+			a.res.Budgets = append(a.res.Budgets,
+				Budget{Resource: "stateful-alus", Stage: s, Used: a.recompHf[s], Limit: int64(t.StatefulALUs)},
+				Budget{Resource: "stateless-alus", Stage: s, Used: a.recompHl[s], Limit: int64(t.StatelessALUs)})
+		}
+		if a.recompHash[s] > 0 && t.HashUnits > 0 {
+			a.res.Budgets = append(a.res.Budgets,
+				Budget{Resource: "hash-units", Stage: s, Used: a.recompHash[s], Limit: int64(t.HashUnits)})
+		}
+		if a.recompHf[s] > int64(t.StatefulALUs) {
+			ok = false
+			detail = fmt.Sprintf("stage %d needs %d stateful ALUs of %d", s, a.recompHf[s], t.StatefulALUs)
+		}
+		if a.recompHl[s] > int64(t.StatelessALUs) {
+			ok = false
+			detail = fmt.Sprintf("stage %d needs %d stateless ALUs of %d", s, a.recompHl[s], t.StatelessALUs)
+		}
+		if t.HashUnits > 0 && a.recompHash[s] > int64(t.HashUnits) {
+			ok = false
+			detail = fmt.Sprintf("stage %d needs %d hash units of %d", s, a.recompHash[s], t.HashUnits)
+		}
+	}
+	a.check("alu-budget", ok, detail)
+}
+
+// checkMemory recomputes per-stage memory from the register placements
+// and checks it against the target's per-stage SRAM.
+func (a *auditor) checkMemory() {
+	t := a.layout.Target
+	for _, rp := range a.layout.Registers {
+		for s, bits := range rp.Bits {
+			if s >= 0 && s < t.Stages {
+				a.recompMem[s] += bits
+			}
+		}
+	}
+	ok := true
+	detail := ""
+	for s := 0; s < t.Stages; s++ {
+		if a.recompMem[s] > 0 {
+			a.res.Budgets = append(a.res.Budgets,
+				Budget{Resource: "memory-bits", Stage: s, Used: a.recompMem[s], Limit: int64(t.MemoryBits)})
+		}
+		if a.recompMem[s] > int64(t.MemoryBits) {
+			ok = false
+			detail = fmt.Sprintf("stage %d needs %d memory bits of %d", s, a.recompMem[s], t.MemoryBits)
+		}
+	}
+	a.check("memory-budget", ok, detail)
+}
+
+// checkStageUse verifies the layout's reported per-stage usage matches
+// the recomputation (spreading may legitimately place extra ALU copies
+// the placements don't record, so the recomputed value is then a lower
+// bound rather than an equality).
+func (a *auditor) checkStageUse() {
+	t := a.layout.Target
+	ok := true
+	detail := ""
+	if len(a.layout.Stages) != t.Stages {
+		a.check("stage-use-consistency", false,
+			fmt.Sprintf("layout reports %d stages, target has %d", len(a.layout.Stages), t.Stages))
+		return
+	}
+	for s, use := range a.layout.Stages {
+		bad := func(what string, recomputed, reported int64) {
+			ok = false
+			detail = fmt.Sprintf("stage %d %s: recomputed %d, layout reports %d", s, what, recomputed, reported)
+		}
+		if t.AllowRegisterSpread {
+			if a.recompHf[s] > int64(use.Hf) {
+				bad("stateful ALUs", a.recompHf[s], int64(use.Hf))
+			}
+			if a.recompHl[s] > int64(use.Hl) {
+				bad("stateless ALUs", a.recompHl[s], int64(use.Hl))
+			}
+			if a.recompHash[s] > int64(use.Hashes) {
+				bad("hash units", a.recompHash[s], int64(use.Hashes))
+			}
+		} else {
+			if a.recompHf[s] != int64(use.Hf) {
+				bad("stateful ALUs", a.recompHf[s], int64(use.Hf))
+			}
+			if a.recompHl[s] != int64(use.Hl) {
+				bad("stateless ALUs", a.recompHl[s], int64(use.Hl))
+			}
+			if a.recompHash[s] != int64(use.Hashes) {
+				bad("hash units", a.recompHash[s], int64(use.Hashes))
+			}
+		}
+		if a.recompMem[s] != use.MemoryBits {
+			bad("memory bits", a.recompMem[s], use.MemoryBits)
+		}
+	}
+	a.check("stage-use-consistency", ok, detail)
+}
+
+// checkPHV re-derives the elastic PHV demand from the solved field
+// extents (constraint #13, recomputed from the program, not the matrix).
+func (a *auditor) checkPHV() {
+	t := a.layout.Target
+	var used int64
+	for _, f := range a.u.ElasticFields() {
+		used += int64(f.Width) * a.layout.Symbolics[f.Count.Sym.Name]
+	}
+	limit := int64(t.ElasticPHVBits() - a.u.FixedPHVBits())
+	a.res.Budgets = append(a.res.Budgets, Budget{Resource: "elastic-phv-bits", Stage: -1, Used: used, Limit: limit})
+	ok := used <= limit
+	detail := ""
+	if !ok {
+		detail = fmt.Sprintf("elastic fields need %d PHV bits, %d available after fixed headers", used, limit)
+	}
+	a.check("phv-budget", ok, detail)
+}

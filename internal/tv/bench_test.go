@@ -1,0 +1,24 @@
+package tv
+
+import (
+	"testing"
+
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+)
+
+// BenchmarkCertify measures one full validation (symbolic equivalence
+// over every path plus the resource audit) of a solved CMS compile.
+// It is wired into the CI benchmark gate (cmd/benchgate): a change that
+// blows up the path count or the per-path symbolic work shows up here
+// as an ns/op regression, not as a silent CI slowdown.
+func BenchmarkCertify(b *testing.B) {
+	u, layout, prog := compileFor(b, modules.StandaloneCMS(), pisa.EvalTarget(pisa.Mb/4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert := Validate(u, layout, prog, Options{Name: "cms"})
+		if !cert.Proved() {
+			b.Fatalf("benchmark compile no longer certifies: %s", cert.Summary())
+		}
+	}
+}

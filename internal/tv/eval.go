@@ -1,0 +1,1203 @@
+package tv
+
+import (
+	"fmt"
+	"sort"
+
+	"p4all/internal/codegen"
+	"p4all/internal/dep"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+)
+
+// This file implements the equivalence half of the validator: a
+// bounded symbolic execution of (a) the elastic source under the solved
+// symbolic assignment and (b) the emitted concrete program — both over
+// a shared symbolic packet and register file, both walking the layout's
+// canonical schedule: placed instances in (stage, program order of the
+// action's first invocation, iteration) order, exactly the step list
+// internal/sim executes. The source side takes guards and bodies from
+// the AST; the target side takes guards from the apply block and bodies
+// from the emitted actions, with the apply block reconciled against the
+// schedule entry by entry at setup (a dropped or reordered apply step
+// is an obligation before any path runs). The legality of the schedule
+// itself — that the solver's reordering of the program respects every
+// dependency — is the audit's job (Prec/Excl re-derivation).
+//
+// Per path it discharges header-output, metadata-output,
+// register-state, Stats-counter, and abort-behavior equivalence. The
+// semantics mirrored are exactly those of the reference interpreter in
+// internal/sim: (value, width) evaluation with width-combining wrap,
+// short-circuit booleans, div/mod-by-zero aborts, register cell wrap at
+// the instance extent, and per-stage ALU charging.
+
+// sv is a symbolic value with the bit width it wraps at — the symbolic
+// analogue of the interpreter's exprW result.
+type sv struct {
+	n *node
+	w int
+}
+
+// regKey identifies one register array instance.
+type regKey struct {
+	name string
+	inst int64
+}
+
+// pathState is the mutable per-packet state of one execution side.
+type pathState struct {
+	hdr       map[string]*node // written header fields (reads default to packet inputs)
+	meta      map[string]*node // written metadata fields (reads default to 0)
+	regs      map[regKey]*node // array values for written register instances
+	regReads  uint64
+	regWrites uint64
+	alu       []uint64
+	aborted   string // abort reason; empty while running
+}
+
+func newPathState(stages int) *pathState {
+	return &pathState{
+		hdr:  make(map[string]*node),
+		meta: make(map[string]*node),
+		regs: make(map[regKey]*node),
+		alu:  make([]uint64, stages),
+	}
+}
+
+// abortErr carries the interpreter-visible abort reason (packet
+// processing error). Both sides must abort with the same reason at the
+// same observable state to stay equivalent.
+type abortErr struct{ reason string }
+
+func (e *abortErr) Error() string { return e.reason }
+
+// obligErr is a residual proof obligation: something the symbolic
+// evaluator cannot discharge. Obligations are never silently passed —
+// they trigger concrete counterexample search and a failed verdict.
+type obligErr struct {
+	kind   string
+	detail string
+}
+
+func (e *obligErr) Error() string { return e.kind + ": " + e.detail }
+
+// failure is one reportable reason the equivalence proof did not go
+// through.
+type failure struct {
+	Kind   string
+	Detail string
+}
+
+// tvStep is one slot of the canonical execution schedule, shared by the
+// source and target walks.
+type tvStep struct {
+	inv     *lang.Invocation
+	iter    int
+	stage   int
+	caction *codegen.CAction // emitted body (nil: missing from the program)
+	// hasApply marks steps with their own apply-block entry; guards are
+	// that entry's conditions. Table-dispatched actions have no apply
+	// entry — the target replays the invocation guards for them.
+	hasApply bool
+	guards   []codegen.CExpr
+}
+
+// machine drives the two-sided symbolic execution.
+type machine struct {
+	t      *symtab
+	u      *lang.Unit
+	layout *ilpgen.Layout
+	prog   *codegen.Concrete
+
+	steps    []tvStep
+	actions  map[string]*codegen.CAction
+	regCells map[regKey]int64
+
+	// Path enumeration: free decisions are made depth-first (true
+	// first); script replays a prefix with the deepest unexplored
+	// branch flipped.
+	assign    map[*node]bool
+	script    []bool
+	taken     []bool
+	decisions int
+	pruned    int
+	paths     int
+
+	pathBudget     int
+	decisionBudget int
+
+	// Concrete mode: packet inputs bound to per-trial constants and
+	// initial register cells to zero, turning both executions into
+	// straight-line constant folding.
+	concrete bool
+	trial    uint64
+}
+
+func newMachine(u *lang.Unit, layout *ilpgen.Layout, prog *codegen.Concrete, pathBudget, decisionBudget int) (*machine, *failure) {
+	m := &machine{
+		t:              newSymtab(),
+		u:              u,
+		layout:         layout,
+		prog:           prog,
+		actions:        make(map[string]*codegen.CAction, len(prog.Actions)),
+		regCells:       make(map[regKey]int64, len(prog.Actions)),
+		pathBudget:     pathBudget,
+		decisionBudget: decisionBudget,
+	}
+	counts := dep.Counts{}
+	for _, l := range u.Loops {
+		counts[l.Sym] = int(layout.Symbolics[l.Sym.Name])
+	}
+	placed := make(map[string]bool, len(layout.Placements))
+	for _, pl := range layout.Placements {
+		placed[pl.Name] = true
+	}
+	instances := dep.Enumerate(u, counts)
+	seen := make(map[string]bool, len(instances))
+	for _, in := range instances {
+		name := in.Name()
+		if seen[name] {
+			return nil, &failure{Kind: "unsupported", Detail: fmt.Sprintf("duplicate instance name %s (repeated invocation of one action)", name)}
+		}
+		seen[name] = true
+		a := in.Inv.Action
+		if a.Decl != nil && a.Decl.Body != nil && !placed[name] {
+			return nil, &failure{Kind: "instance-unplaced", Detail: fmt.Sprintf("instance %s required by the assignment has no placement", name)}
+		}
+	}
+	for i := range prog.Actions {
+		m.actions[prog.Actions[i].Name] = &prog.Actions[i]
+	}
+	for _, rp := range layout.Registers {
+		m.regCells[regKey{rp.Register, int64(rp.Index)}] = rp.Cells
+	}
+	if f := m.buildSteps(); f != nil {
+		return nil, f
+	}
+	return m, nil
+}
+
+// buildSteps assembles the canonical schedule from the layout —
+// placements sorted exactly as the interpreter sorts its step list —
+// and reconciles the emitted apply block against it in lockstep: every
+// table match and every directly-invoked action must appear at its
+// scheduled position and stage, table-dispatched actions must be
+// absent, and nothing may trail. A dropped, reordered, or restaged
+// apply step is therefore an obligation before any path runs.
+func (m *machine) buildSteps() *failure {
+	invByAction := make(map[string]*lang.Invocation, len(m.u.Invocations))
+	for _, inv := range m.u.Invocations {
+		if _, dup := invByAction[inv.Action.Name]; !dup {
+			invByAction[inv.Action.Name] = inv
+		}
+	}
+	tableOfMatch := make(map[string]*lang.TableInfo, len(m.u.Tables))
+	tableActions := make(map[string]bool)
+	for _, tbl := range m.u.Tables {
+		tableOfMatch[tbl.Match.Name] = tbl
+		for _, a := range tbl.Actions {
+			tableActions[a.Name] = true
+		}
+	}
+	order := append([]ilpgen.Placement(nil), m.layout.Placements...)
+	codegen.SortPlacements(order, m.u)
+	applyIdx := 0
+	for _, pl := range order {
+		if tbl, ok := tableOfMatch[pl.Action]; ok {
+			if f := m.expectApply(applyIdx, tbl.Name, "", pl.Stage); f != nil {
+				return f
+			}
+			applyIdx++
+			continue
+		}
+		inv, ok := invByAction[pl.Action]
+		if !ok || inv.Action.Decl == nil || inv.Action.Decl.Body == nil {
+			continue
+		}
+		name := codegen.InstanceName(pl.Action, pl.Iter)
+		s := tvStep{inv: inv, iter: pl.Iter, stage: pl.Stage, caction: m.actions[name]}
+		if !tableActions[pl.Action] {
+			if f := m.expectApply(applyIdx, "", name, pl.Stage); f != nil {
+				return f
+			}
+			s.hasApply = true
+			s.guards = m.prog.Apply[applyIdx].Guards
+			applyIdx++
+		}
+		m.steps = append(m.steps, s)
+	}
+	if applyIdx != len(m.prog.Apply) {
+		extra := m.prog.Apply[applyIdx]
+		return &failure{Kind: "apply-mismatch", Detail: fmt.Sprintf("apply step %d: %s not in the layout schedule", applyIdx, applyStepName(extra))}
+	}
+	return nil
+}
+
+// expectApply checks that apply entry i is the scheduled table or
+// action at the scheduled stage.
+func (m *machine) expectApply(i int, table, action string, stage int) *failure {
+	want := codegen.CApplyStep{Table: table, Action: action, Stage: stage}
+	if i >= len(m.prog.Apply) {
+		return &failure{Kind: "apply-mismatch", Detail: fmt.Sprintf("apply step %d: expected %s at stage %d, apply block ends early", i, applyStepName(want), stage)}
+	}
+	got := m.prog.Apply[i]
+	if got.Table != table || got.Action != action || got.Stage != stage {
+		return &failure{Kind: "apply-mismatch", Detail: fmt.Sprintf("apply step %d: expected %s at stage %d, found %s at stage %d", i, applyStepName(want), stage, applyStepName(got), got.Stage)}
+	}
+	return nil
+}
+
+func applyStepName(s codegen.CApplyStep) string {
+	if s.Table != "" {
+		return "table " + s.Table
+	}
+	return "action " + s.Action
+}
+
+// key flattens an elastic field instance to its simulator storage key.
+func key(qual string, idx uint64) string {
+	return fmt.Sprintf("%s@%d", qual, idx)
+}
+
+// inVar is the packet input for a header key: a free symbolic variable
+// normally, a deterministic per-trial constant in concrete mode.
+func (m *machine) inVar(k string) *node {
+	if m.concrete {
+		return m.t.constant(hashUint(fnv1a(k), m.trial))
+	}
+	return m.t.in(k)
+}
+
+// decide resolves a branch condition ("is this value nonzero?").
+// Constant and interval-decided conditions never fork. On the source
+// side an undetermined condition becomes a free decision (scripted by
+// the DFS); on the target side it must already be determined by the
+// source path's decisions, otherwise the branch alignment is a
+// residual obligation.
+func (m *machine) decide(n *node, src bool) (bool, error) {
+	if n.isConst() {
+		return n.val != 0, nil
+	}
+	if n.lo >= 1 {
+		m.pruned++
+		return true, nil
+	}
+	if n.hi == 0 {
+		m.pruned++
+		return false, nil
+	}
+	if v, ok := m.assign[n]; ok {
+		return v, nil
+	}
+	if !src {
+		return false, &obligErr{kind: "unaligned-branch", detail: "emitted program branches on a condition the source never decided: " + nodeString(n, 4)}
+	}
+	var v bool
+	if len(m.taken) < len(m.script) {
+		v = m.script[len(m.taken)]
+	} else {
+		v = true
+		m.decisions++
+		if m.decisions > m.decisionBudget {
+			return false, &obligErr{kind: "decision-budget", detail: fmt.Sprintf("more than %d branch decisions", m.decisionBudget)}
+		}
+	}
+	m.taken = append(m.taken, v)
+	m.assign[n] = v
+	return v, nil
+}
+
+// evalCtx evaluates expressions for one action instance on one side.
+type evalCtx struct {
+	m       *machine
+	st      *pathState
+	src     bool
+	action  *lang.Action // source side only
+	iter    int
+	loopVar string
+	stage   int
+}
+
+// charge mirrors the interpreter's per-stage ALU accounting.
+func (ev *evalCtx) charge() {
+	if ev.stage >= 0 && ev.stage < len(ev.st.alu) {
+		ev.st.alu[ev.stage]++
+	}
+}
+
+func (ev *evalCtx) regArr(k regKey) *node {
+	if a, ok := ev.st.regs[k]; ok {
+		return a
+	}
+	return ev.m.t.arrInit(k.name, k.inst)
+}
+
+// regRead mirrors the interpreter's register load: unmaterialized
+// instances read as zero without a stats charge; materialized reads
+// wrap the cell index at the extent and count one RegRead.
+func (ev *evalCtx) regRead(name string, inst int64, cell *node, width int) sv {
+	k := regKey{name, inst}
+	cells, ok := ev.m.regCells[k]
+	if !ok {
+		return sv{ev.m.t.constant(0), width}
+	}
+	c := ev.m.t.wrapCell(cell, cells)
+	v := ev.m.t.sel(ev.regArr(k), c, width)
+	if ev.m.concrete && v.kind == kSelect {
+		v = ev.m.t.constant(0) // fresh pipeline: cells start at zero
+	}
+	ev.st.regReads++
+	return sv{v, width}
+}
+
+// regWrite mirrors the interpreter's register store: a no-op on
+// unmaterialized instances, otherwise a width-masked functional store
+// and one RegWrite.
+func (ev *evalCtx) regWrite(name string, inst int64, cell *node, val *node, width int) {
+	k := regKey{name, inst}
+	cells, ok := ev.m.regCells[k]
+	if !ok {
+		return
+	}
+	c := ev.m.t.wrapCell(cell, cells)
+	ev.st.regs[k] = ev.m.t.store(ev.regArr(k), c, ev.m.t.mask(val, width))
+	ev.st.regWrites++
+}
+
+func (ev *evalCtx) hdrRead(k string, width int) sv {
+	n, ok := ev.st.hdr[k]
+	if !ok {
+		n = ev.m.inVar(k)
+	}
+	return sv{ev.m.t.mask(n, width), width}
+}
+
+func (ev *evalCtx) metaRead(k string, width int) sv {
+	n, ok := ev.st.meta[k]
+	if !ok {
+		n = ev.m.t.constant(0)
+	}
+	return sv{n, width}
+}
+
+// binary evaluates a binary operator over already-evaluated operands
+// following exprW: short-circuiting is handled by the callers (they
+// must not evaluate y when x short-circuits).
+func (ev *evalCtx) arith(op lang.Kind, x, y sv) (sv, error) {
+	ev.charge()
+	switch op {
+	case lang.SLASH, lang.PCT:
+		word := "division"
+		if op == lang.PCT {
+			word = "modulo"
+		}
+		if y.n.isConst() {
+			if y.n.val == 0 {
+				return sv{}, &abortErr{reason: word + " by zero"}
+			}
+		} else {
+			zero, err := ev.m.decide(ev.m.t.bin(lang.EQ, y.n, ev.m.t.constant(0)), ev.src)
+			if err != nil {
+				return sv{}, err
+			}
+			if zero {
+				return sv{}, &abortErr{reason: word + " by zero"}
+			}
+		}
+		w := combineWidth(x.w, y.w)
+		return sv{ev.m.t.mask(ev.m.t.bin(op, x.n, y.n), w), w}, nil
+	case lang.PLUS, lang.MINUS, lang.STAR:
+		w := combineWidth(x.w, y.w)
+		return sv{ev.m.t.mask(ev.m.t.bin(op, x.n, y.n), w), w}, nil
+	case lang.LT, lang.LE, lang.GT, lang.GE, lang.EQ, lang.NE:
+		return sv{ev.m.t.bin(op, x.n, y.n), 0}, nil
+	case lang.AND:
+		// x was already decided nonzero by the caller.
+		return sv{ev.m.t.boolish(y.n), 0}, nil
+	case lang.OR:
+		// x was already decided zero by the caller.
+		return sv{ev.m.t.boolish(y.n), 0}, nil
+	default:
+		return sv{}, &abortErr{reason: fmt.Sprintf("unsupported operator %s", op)}
+	}
+}
+
+// builtin evaluates hash/min/max after argument evaluation.
+func (ev *evalCtx) builtin(name string, args []sv) (sv, error) {
+	ev.charge()
+	switch name {
+	case "hash":
+		if len(args) != 2 {
+			return sv{}, &abortErr{reason: "hash expects 2 arguments"}
+		}
+		return sv{ev.m.t.call("hash", args[0].n, args[1].n), 64}, nil
+	case "min", "max":
+		if len(args) != 2 {
+			return sv{}, &obligErr{kind: "unsupported", detail: name + " with arity != 2"}
+		}
+		return sv{ev.m.t.call(name, args[0].n, args[1].n), combineWidth(args[0].w, args[1].w)}, nil
+	}
+	return sv{}, &abortErr{reason: "unknown builtin " + name}
+}
+
+// ---------- source side: the elastic program under the assignment ----------
+
+// stepCtx builds the evaluation context for one schedule step. The
+// target side carries the same action/iteration bindings: it needs them
+// to replay invocation guards for table-dispatched steps, and they are
+// inert under evalC.
+func (m *machine) stepCtx(st *pathState, s *tvStep, src bool) *evalCtx {
+	loopVar := ""
+	if l := s.inv.Loop(); l != nil {
+		loopVar = l.Var
+	}
+	return &evalCtx{m: m, st: st, src: src, action: s.inv.Action, iter: s.iter, loopVar: loopVar, stage: s.stage}
+}
+
+// guardsL evaluates the invocation guards as the interpreter does: one
+// decision per guard, stopping at the first false.
+func (ev *evalCtx) guardsL(guards []lang.Expr) (bool, error) {
+	for _, g := range guards {
+		v, err := ev.evalL(g)
+		if err != nil {
+			return false, err
+		}
+		take, err := ev.m.decide(v.n, ev.src)
+		if err != nil {
+			return false, err
+		}
+		if !take {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// runSource executes the canonical schedule over the source AST. A
+// packet abort is recorded in st.aborted (not returned); residual
+// obligations are returned.
+func (m *machine) runSource(st *pathState) error {
+	for i := range m.steps {
+		s := &m.steps[i]
+		ev := m.stepCtx(st, s, true)
+		pass, err := ev.guardsL(s.inv.Guards)
+		if err == nil && pass {
+			err = ev.blockL(s.inv.Action.Decl.Body)
+		}
+		if err != nil {
+			if ab, isAbort := err.(*abortErr); isAbort {
+				st.aborted = ab.reason
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evalCtx) blockL(b *lang.Block) error {
+	for _, s := range b.Stmts {
+		if err := ev.stmtL(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evalCtx) stmtL(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		return ev.blockL(s)
+	case *lang.AssignStmt:
+		v, err := ev.evalL(s.RHS)
+		if err != nil {
+			return err
+		}
+		return ev.assignL(s.LHS, v)
+	case *lang.IfStmt:
+		c, err := ev.evalL(s.Cond)
+		if err != nil {
+			return err
+		}
+		take, err := ev.m.decide(c.n, ev.src)
+		if err != nil {
+			return err
+		}
+		if take {
+			return ev.blockL(s.Then)
+		}
+		if s.Else != nil {
+			return ev.blockL(s.Else)
+		}
+		return nil
+	default:
+		return &abortErr{reason: fmt.Sprintf("unsupported statement %T", s)}
+	}
+}
+
+// evalL mirrors the interpreter's exprW over lang expressions.
+func (ev *evalCtx) evalL(e lang.Expr) (sv, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return sv{ev.m.t.constant(uint64(e.Value)), 0}, nil
+	case *lang.BoolLit:
+		return sv{ev.m.t.boolConst(e.Value), 0}, nil
+	case *lang.Unary:
+		x, err := ev.evalL(e.X)
+		if err != nil {
+			return sv{}, err
+		}
+		ev.charge()
+		switch e.Op {
+		case lang.MINUS:
+			return sv{ev.m.t.mask(ev.m.t.neg(x.n), x.w), x.w}, nil
+		case lang.NOT:
+			return sv{ev.m.t.not(x.n), 0}, nil
+		}
+		return sv{}, &abortErr{reason: fmt.Sprintf("unsupported unary %s", e.Op)}
+	case *lang.Binary:
+		x, err := ev.evalL(e.X)
+		if err != nil {
+			return sv{}, err
+		}
+		switch e.Op {
+		case lang.AND:
+			nz, err := ev.m.decide(x.n, ev.src)
+			if err != nil {
+				return sv{}, err
+			}
+			if !nz {
+				return sv{ev.m.t.constant(0), 0}, nil
+			}
+		case lang.OR:
+			nz, err := ev.m.decide(x.n, ev.src)
+			if err != nil {
+				return sv{}, err
+			}
+			if nz {
+				return sv{ev.m.t.constant(1), 0}, nil
+			}
+		}
+		y, err := ev.evalL(e.Y)
+		if err != nil {
+			return sv{}, err
+		}
+		return ev.arith(e.Op, x, y)
+	case *lang.CallExpr:
+		args := make([]sv, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ev.evalL(a)
+			if err != nil {
+				return sv{}, err
+			}
+			args[i] = v
+		}
+		return ev.builtin(e.Name, args)
+	case *lang.Ref:
+		return ev.loadL(e)
+	default:
+		return sv{}, &abortErr{reason: fmt.Sprintf("unsupported expression %T", e)}
+	}
+}
+
+// indexValueL mirrors the interpreter's compile-time instance index
+// resolution: the action's index parameter, else a full evaluation.
+func (ev *evalCtx) indexValueL(e lang.Expr) (sv, error) {
+	if ref, ok := e.(*lang.Ref); ok && ref.IsSimpleIdent() &&
+		ev.action.Decl != nil && ref.Base() == ev.action.Decl.IndexParam {
+		return sv{ev.m.t.constant(uint64(ev.iter)), 0}, nil
+	}
+	return ev.evalL(e)
+}
+
+// constIndex requires a statically known instance index. The
+// interpreter can chase dynamic instance indexes at runtime, but the
+// generated program cannot (codegen pins instances at compile time),
+// so a dynamic index is an obligation, not an abort.
+func constIndex(v sv, what string) (uint64, error) {
+	if !v.n.isConst() {
+		return 0, &obligErr{kind: "unsupported", detail: "dynamic " + what + " index"}
+	}
+	return v.n.val, nil
+}
+
+func (ev *evalCtx) loadL(ref *lang.Ref) (sv, error) {
+	base := ref.Base()
+	if ref.IsSimpleIdent() {
+		if ev.action.Decl != nil && base == ev.action.Decl.IndexParam {
+			return sv{ev.m.t.constant(uint64(ev.iter)), 0}, nil
+		}
+		if ev.loopVar != "" && base == ev.loopVar {
+			return sv{ev.m.t.constant(uint64(ev.iter)), 0}, nil
+		}
+		if sym := ev.m.u.SymbolicByName(base); sym != nil {
+			return sv{ev.m.t.constant(uint64(ev.m.layout.Symbolics[sym.Name])), 0}, nil
+		}
+		if v, ok := ev.m.u.Consts[base]; ok {
+			return sv{ev.m.t.constant(uint64(v)), 0}, nil
+		}
+		return sv{}, &abortErr{reason: "unknown name " + base}
+	}
+	if reg := ev.m.u.RegisterByName(base); reg != nil {
+		inst, cell, err := ev.regTargetL(ref, reg)
+		if err != nil {
+			return sv{}, err
+		}
+		return ev.regRead(base, inst, cell.n, reg.Width), nil
+	}
+	if si := ev.m.u.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		f := si.Field(ref.Segs[1].Name)
+		if f == nil {
+			return sv{}, &abortErr{reason: "unknown field " + lang.PrintExpr(ref)}
+		}
+		k, err := ev.metaKeyL(ref, f)
+		if err != nil {
+			return sv{}, err
+		}
+		if si.IsHeader {
+			return ev.hdrRead(k, f.Width), nil
+		}
+		return ev.metaRead(k, f.Width), nil
+	}
+	return sv{}, &abortErr{reason: "cannot read " + lang.PrintExpr(ref)}
+}
+
+func (ev *evalCtx) regTargetL(ref *lang.Ref, reg *lang.Register) (int64, sv, error) {
+	seg := ref.Segs[0]
+	if reg.Decl.Count != nil && len(seg.Indexes) == 2 {
+		iv, err := ev.indexValueL(seg.Indexes[0])
+		if err != nil {
+			return 0, sv{}, err
+		}
+		inst, err := constIndex(iv, "register instance")
+		if err != nil {
+			return 0, sv{}, err
+		}
+		cell, err := ev.evalL(seg.Indexes[1])
+		if err != nil {
+			return 0, sv{}, err
+		}
+		return int64(inst), cell, nil
+	}
+	if len(seg.Indexes) == 1 {
+		cell, err := ev.evalL(seg.Indexes[0])
+		if err != nil {
+			return 0, sv{}, err
+		}
+		return 0, cell, nil
+	}
+	return 0, sv{}, &abortErr{reason: "malformed register access " + lang.PrintExpr(ref)}
+}
+
+func (ev *evalCtx) metaKeyL(ref *lang.Ref, f *lang.MetaField) (string, error) {
+	fseg := ref.Segs[1]
+	qual := f.Qual()
+	elastic := f.Count.IsSymbolic() || f.Count.Const > 1
+	if !elastic {
+		return qual, nil
+	}
+	if len(fseg.Indexes) != 1 {
+		return "", &abortErr{reason: "elastic field " + qual + " needs one index"}
+	}
+	iv, err := ev.indexValueL(fseg.Indexes[0])
+	if err != nil {
+		return "", err
+	}
+	idx, err := constIndex(iv, "field instance")
+	if err != nil {
+		return "", err
+	}
+	return key(qual, idx), nil
+}
+
+func (ev *evalCtx) assignL(ref *lang.Ref, v sv) error {
+	base := ref.Base()
+	if reg := ev.m.u.RegisterByName(base); reg != nil {
+		inst, cell, err := ev.regTargetL(ref, reg)
+		if err != nil {
+			return err
+		}
+		ev.regWrite(base, inst, cell.n, v.n, reg.Width)
+		return nil
+	}
+	if si := ev.m.u.StructByName(base); si != nil && len(ref.Segs) == 2 {
+		f := si.Field(ref.Segs[1].Name)
+		if f == nil {
+			return &abortErr{reason: "unknown field " + lang.PrintExpr(ref)}
+		}
+		k, err := ev.metaKeyL(ref, f)
+		if err != nil {
+			return err
+		}
+		if si.IsHeader {
+			ev.st.hdr[k] = ev.m.t.mask(v.n, f.Width)
+			return nil
+		}
+		ev.st.meta[k] = ev.m.t.mask(v.n, f.Width)
+		return nil
+	}
+	return &abortErr{reason: "cannot assign to " + lang.PrintExpr(ref)}
+}
+
+// ---------- target side: the emitted concrete program ----------
+
+// guardsC evaluates apply-block guard conditions, one decision per
+// guard, stopping at the first false.
+func (ev *evalCtx) guardsC(guards []codegen.CExpr) (bool, error) {
+	for _, g := range guards {
+		v, err := ev.evalC(g)
+		if err != nil {
+			return false, err
+		}
+		take, err := ev.m.decide(v.n, ev.src)
+		if err != nil {
+			return false, err
+		}
+		if !take {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// runTarget executes the same canonical schedule over the emitted
+// program with the same interpreter semantics: guards from the apply
+// block (or, for table-dispatched actions, replayed from the
+// invocation — the emitted text leaves them to the table's match),
+// bodies from the emitted actions, charged at the stage each action was
+// emitted for. Branch conditions must be determined by the source
+// path's decisions (plus intervals/constants); the target makes no free
+// decisions of its own.
+func (m *machine) runTarget(st *pathState) error {
+	for i := range m.steps {
+		s := &m.steps[i]
+		if s.caction == nil {
+			return &obligErr{kind: "unknown-action", detail: fmt.Sprintf("emitted program lacks action %s", codegen.InstanceName(s.inv.Action.Name, s.iter))}
+		}
+		ev := m.stepCtx(st, s, false)
+		var pass bool
+		var err error
+		if s.hasApply {
+			pass, err = ev.guardsC(s.guards)
+		} else {
+			pass, err = ev.guardsL(s.inv.Guards)
+		}
+		if err == nil && pass {
+			bodyEv := &evalCtx{m: m, st: st, src: false, stage: s.caction.Stage}
+			for _, stmt := range s.caction.Body {
+				if err = bodyEv.stmtC(stmt); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			if ab, isAbort := err.(*abortErr); isAbort {
+				st.aborted = ab.reason
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evalCtx) stmtC(s codegen.CStmt) error {
+	switch s := s.(type) {
+	case *codegen.CAssign:
+		v, err := ev.evalC(s.RHS)
+		if err != nil {
+			return err
+		}
+		return ev.assignC(s.LHS, v)
+	case *codegen.CIf:
+		c, err := ev.evalC(s.Cond)
+		if err != nil {
+			return err
+		}
+		take, err := ev.m.decide(c.n, ev.src)
+		if err != nil {
+			return err
+		}
+		body := s.Then
+		if !take {
+			if !s.HasElse {
+				return nil
+			}
+			body = s.Else
+		}
+		for _, inner := range body {
+			if err := ev.stmtC(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return &obligErr{kind: "unsupported", detail: "elided statement in emitted program"}
+	}
+}
+
+func (ev *evalCtx) evalC(e codegen.CExpr) (sv, error) {
+	switch e := e.(type) {
+	case *codegen.CInt:
+		return sv{ev.m.t.constant(uint64(e.Value)), 0}, nil
+	case *codegen.CBool:
+		return sv{ev.m.t.boolConst(e.Value), 0}, nil
+	case *codegen.CUnary:
+		x, err := ev.evalC(e.X)
+		if err != nil {
+			return sv{}, err
+		}
+		ev.charge()
+		switch e.Op {
+		case lang.MINUS:
+			return sv{ev.m.t.mask(ev.m.t.neg(x.n), x.w), x.w}, nil
+		case lang.NOT:
+			return sv{ev.m.t.not(x.n), 0}, nil
+		}
+		return sv{}, &abortErr{reason: fmt.Sprintf("unsupported unary %s", e.Op)}
+	case *codegen.CBinary:
+		x, err := ev.evalC(e.X)
+		if err != nil {
+			return sv{}, err
+		}
+		switch e.Op {
+		case lang.AND:
+			nz, err := ev.m.decide(x.n, ev.src)
+			if err != nil {
+				return sv{}, err
+			}
+			if !nz {
+				return sv{ev.m.t.constant(0), 0}, nil
+			}
+		case lang.OR:
+			nz, err := ev.m.decide(x.n, ev.src)
+			if err != nil {
+				return sv{}, err
+			}
+			if nz {
+				return sv{ev.m.t.constant(1), 0}, nil
+			}
+		}
+		y, err := ev.evalC(e.Y)
+		if err != nil {
+			return sv{}, err
+		}
+		return ev.arith(e.Op, x, y)
+	case *codegen.CCall:
+		args := make([]sv, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ev.evalC(a)
+			if err != nil {
+				return sv{}, err
+			}
+			args[i] = v
+		}
+		return ev.builtin(e.Name, args)
+	case *codegen.CRegRef:
+		cell, err := ev.evalC(e.Idx)
+		if err != nil {
+			return sv{}, err
+		}
+		return ev.regRead(e.Reg, e.Inst, cell.n, e.Width), nil
+	case *codegen.CFieldRef:
+		k, err := fieldKeyC(e)
+		if err != nil {
+			return sv{}, err
+		}
+		if e.Header {
+			return ev.hdrRead(k, e.Width), nil
+		}
+		return ev.metaRead(k, e.Width), nil
+	case *codegen.CName:
+		return sv{}, &abortErr{reason: "unknown name " + e.Name}
+	default:
+		return sv{}, &obligErr{kind: "unsupported", detail: "unmodeled expression in emitted program"}
+	}
+}
+
+func fieldKeyC(e *codegen.CFieldRef) (string, error) {
+	if e.Elastic && e.Index < 0 {
+		return "", &obligErr{kind: "unsupported", detail: fmt.Sprintf("elastic field %s.%s emitted without an instance", e.Struct, e.Field)}
+	}
+	if e.Elastic {
+		return key(e.Struct+"."+e.Field, uint64(e.Index)), nil
+	}
+	return e.Struct + "." + e.Field, nil
+}
+
+func (ev *evalCtx) assignC(lhs codegen.CExpr, v sv) error {
+	switch e := lhs.(type) {
+	case *codegen.CRegRef:
+		cell, err := ev.evalC(e.Idx)
+		if err != nil {
+			return err
+		}
+		ev.regWrite(e.Reg, e.Inst, cell.n, v.n, e.Width)
+		return nil
+	case *codegen.CFieldRef:
+		k, err := fieldKeyC(e)
+		if err != nil {
+			return err
+		}
+		if e.Header {
+			ev.st.hdr[k] = ev.m.t.mask(v.n, e.Width)
+			return nil
+		}
+		ev.st.meta[k] = ev.m.t.mask(v.n, e.Width)
+		return nil
+	default:
+		return &obligErr{kind: "unsupported", detail: "unmodeled assignment target in emitted program"}
+	}
+}
+
+// ---------- path enumeration and comparison ----------
+
+// equivResult summarizes the equivalence run.
+type equivResult struct {
+	Paths          int
+	PathsProved    int
+	Decisions      int
+	Pruned         int
+	Fallbacks      int
+	Samples        int
+	Counterexample string
+	Failures       map[failure]int // per-failure path counts
+}
+
+func (m *machine) addFailure(res *equivResult, f failure) {
+	res.Failures[f]++
+}
+
+// runEquivalence enumerates every feasible source path, replays the
+// target under the same decisions, and compares the outcomes. Residual
+// obligations trigger the concrete fallback search; nothing passes
+// silently.
+func runEquivalence(m *machine, samples int) *equivResult {
+	res := &equivResult{Failures: make(map[failure]int)}
+	m.script = nil
+	for {
+		if res.Paths >= m.pathBudget {
+			m.addFailure(res, failure{Kind: "path-budget", Detail: fmt.Sprintf("more than %d paths", m.pathBudget)})
+			break
+		}
+		res.Paths++
+		fails := m.runPath()
+		if len(fails) == 0 {
+			res.PathsProved++
+		}
+		for _, f := range fails {
+			m.addFailure(res, f)
+		}
+		// Backtrack: flip the deepest true decision.
+		k := len(m.taken) - 1
+		for k >= 0 && !m.taken[k] {
+			k--
+		}
+		if k < 0 {
+			break
+		}
+		m.script = append(m.script[:0], m.taken[:k]...)
+		m.script = append(m.script, false)
+	}
+	res.Decisions = m.decisions
+	res.Pruned = m.pruned
+	if len(res.Failures) > 0 {
+		res.Fallbacks = len(res.Failures)
+		res.Samples = samples
+		res.Counterexample = m.concreteSearch(samples)
+	}
+	return res
+}
+
+// runPath executes one source path and its target replay, returning
+// the path's failures (empty means the path's obligations discharged).
+func (m *machine) runPath() []failure {
+	m.assign = make(map[*node]bool)
+	m.taken = m.taken[:0]
+	stages := len(m.layout.Stages)
+	src := newPathState(stages)
+	tgt := newPathState(stages)
+	var fails []failure
+	if err := m.runSource(src); err != nil {
+		oe := err.(*obligErr)
+		return append(fails, failure{Kind: oe.kind, Detail: oe.detail})
+	}
+	if err := m.runTarget(tgt); err != nil {
+		oe := err.(*obligErr)
+		return append(fails, failure{Kind: oe.kind, Detail: oe.detail})
+	}
+	return m.compare(src, tgt)
+}
+
+// compare discharges the per-path equivalence obligations.
+func (m *machine) compare(src, tgt *pathState) []failure {
+	var fails []failure
+	if src.aborted != "" || tgt.aborted != "" {
+		if src.aborted != tgt.aborted {
+			fails = append(fails, failure{
+				Kind:   "abort-divergence",
+				Detail: fmt.Sprintf("source abort %q vs emitted abort %q", src.aborted, tgt.aborted),
+			})
+		}
+		// Register writes made before the abort persist; outputs are
+		// not produced, so only state and stats remain comparable.
+	} else {
+		fails = append(fails, compareMaps("header", src.hdr, tgt.hdr)...)
+		fails = append(fails, compareMaps("metadata", src.meta, tgt.meta)...)
+	}
+	fails = append(fails, m.compareRegs(src, tgt)...)
+	fails = append(fails, compareStats(src, tgt)...)
+	return fails
+}
+
+func compareMaps(kind string, a, b map[string]*node) []failure {
+	var fails []failure
+	for _, k := range unionKeys(a, b) {
+		na, okA := a[k]
+		nb, okB := b[k]
+		switch {
+		case !okA:
+			fails = append(fails, failure{Kind: kind + "-mismatch", Detail: fmt.Sprintf("%s written only by the emitted program", k)})
+		case !okB:
+			fails = append(fails, failure{Kind: kind + "-mismatch", Detail: fmt.Sprintf("%s written only by the source", k)})
+		case na != nb:
+			fails = append(fails, failure{Kind: kind + "-mismatch", Detail: fmt.Sprintf("%s differs between source and emitted program", k)})
+		}
+	}
+	return fails
+}
+
+func (m *machine) compareRegs(src, tgt *pathState) []failure {
+	var fails []failure
+	seen := make(map[regKey]bool, len(src.regs)+len(tgt.regs))
+	var keys []regKey
+	for k := range src.regs {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range tgt.regs {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	for _, k := range keys {
+		na, okA := src.regs[k]
+		nb, okB := tgt.regs[k]
+		if !okA {
+			na = m.t.arrInit(k.name, k.inst)
+		}
+		if !okB {
+			nb = m.t.arrInit(k.name, k.inst)
+		}
+		if m.concrete {
+			na = m.concreteArr(na)
+			nb = m.concreteArr(nb)
+		}
+		if na != nb {
+			fails = append(fails, failure{Kind: "register-mismatch", Detail: fmt.Sprintf("final state of %s/%d differs", k.name, k.inst)})
+		}
+	}
+	return fails
+}
+
+// concreteArr normalizes a concrete store chain: redundant stores of
+// the same constant cell collapse to the last one, and cells are
+// ordered, so equal concrete register contents compare equal even when
+// the two sides wrote in different (commuting) orders.
+func (m *machine) concreteArr(arr *node) *node {
+	cells := map[uint64]*node{}
+	a := arr
+	for a.kind == kStore {
+		idx, val := a.args[1], a.args[2]
+		if !idx.isConst() || !val.isConst() {
+			return arr // not fully concrete; compare structurally
+		}
+		if _, ok := cells[idx.val]; !ok {
+			cells[idx.val] = val
+		}
+		a = a.args[0]
+	}
+	idxs := make([]uint64, 0, len(cells))
+	for i := range cells {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := a
+	for _, i := range idxs {
+		out = m.t.store(out, m.t.constant(i), cells[i])
+	}
+	return out
+}
+
+func compareStats(src, tgt *pathState) []failure {
+	var fails []failure
+	if src.regReads != tgt.regReads {
+		fails = append(fails, failure{Kind: "stats-mismatch", Detail: fmt.Sprintf("RegReads %d vs %d", src.regReads, tgt.regReads)})
+	}
+	if src.regWrites != tgt.regWrites {
+		fails = append(fails, failure{Kind: "stats-mismatch", Detail: fmt.Sprintf("RegWrites %d vs %d", src.regWrites, tgt.regWrites)})
+	}
+	for i := range src.alu {
+		if src.alu[i] != tgt.alu[i] {
+			fails = append(fails, failure{Kind: "stats-mismatch", Detail: fmt.Sprintf("ALUOps[stage %d] %d vs %d", i, src.alu[i], tgt.alu[i])})
+		}
+	}
+	return fails
+}
+
+func unionKeys(a, b map[string]*node) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var keys []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// concreteSearch replays both sides on deterministic pseudo-random
+// concrete packets (zeroed registers), looking for a concrete witness
+// of divergence. It returns a description of the first counterexample
+// found, or "" if sampling found none (the verdict stays failed — an
+// undischarged obligation is never a pass).
+func (m *machine) concreteSearch(samples int) string {
+	defer func() { m.concrete = false }()
+	m.concrete = true
+	for trial := 1; trial <= samples; trial++ {
+		m.trial = uint64(trial)
+		m.assign = make(map[*node]bool)
+		m.taken = m.taken[:0]
+		m.script = nil
+		stages := len(m.layout.Stages)
+		src := newPathState(stages)
+		tgt := newPathState(stages)
+		if err := m.runSource(src); err != nil {
+			continue // unsupported constructs stay symbolic obligations
+		}
+		if err := m.runTarget(tgt); err != nil {
+			continue
+		}
+		if fails := m.compare(src, tgt); len(fails) > 0 {
+			return fmt.Sprintf("trial %d: %s: %s", trial, fails[0].Kind, fails[0].Detail)
+		}
+	}
+	return ""
+}

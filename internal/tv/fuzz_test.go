@@ -1,0 +1,79 @@
+package tv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"p4all/internal/codegen"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+)
+
+// FuzzCertify compiles library-module programs over a quantized
+// configuration space (module kind, element width, hash seed, memory
+// budget) and demands every solved compile certify proved. Compiles are
+// cached per configuration so the fuzz engine's per-input hang detector
+// only ever sees the cheap validation; the config space is small enough
+// (a few dozen entries) that the cache stays bounded.
+
+type fuzzCompiled struct {
+	u      *lang.Unit
+	layout *ilpgen.Layout
+	prog   *codegen.Concrete
+}
+
+var fuzzCache struct {
+	sync.Mutex
+	byKey map[string]*fuzzCompiled
+}
+
+func fuzzCompile(t *testing.T, key, src string, target pisa.Target) *fuzzCompiled {
+	t.Helper()
+	fuzzCache.Lock()
+	defer fuzzCache.Unlock()
+	if fuzzCache.byKey == nil {
+		fuzzCache.byKey = make(map[string]*fuzzCompiled)
+	}
+	if c, ok := fuzzCache.byKey[key]; ok {
+		return c
+	}
+	u, layout, prog := compileFor(t, src, target)
+	c := &fuzzCompiled{u: u, layout: layout, prog: prog}
+	fuzzCache.byKey[key] = c
+	return c
+}
+
+func FuzzCertify(f *testing.F) {
+	f.Add(byte(0), byte(0), byte(0), byte(0))
+	f.Add(byte(1), byte(1), byte(2), byte(1))
+	f.Add(byte(0), byte(2), byte(3), byte(1))
+	f.Add(byte(1), byte(0), byte(1), byte(0))
+	f.Fuzz(func(t *testing.T, kind, widthSel, seedSel, memSel byte) {
+		widths := []int{8, 16, 32}
+		mems := []int{pisa.Mb / 4, pisa.Mb / 2}
+		in := modules.Instance{
+			Prefix: "fz",
+			Key:    "pkt.flow",
+			Width:  widths[int(widthSel)%len(widths)],
+			Seed:   int(seedSel) % 4,
+		}
+		var src string
+		switch int(kind) % 2 {
+		case 0:
+			src = modules.Standalone(modules.CountMinSketch(in), "fz_update", "fz_rows * fz_cols")
+		case 1:
+			src = modules.Standalone(modules.BloomFilter(in), "fz_check", "fz_rows * fz_bits")
+		}
+		mem := mems[int(memSel)%len(mems)]
+		key := fmt.Sprintf("%d/%d/%d/%d", int(kind)%2, in.Width, in.Seed, mem)
+		c := fuzzCompile(t, key, src, pisa.EvalTarget(mem))
+		cert := Validate(c.u, c.layout, c.prog, Options{Name: key})
+		if !cert.Proved() {
+			t.Fatalf("config %s failed to certify: %s\nobligations: %+v",
+				key, cert.Summary(), cert.Equivalence.Obligations)
+		}
+	})
+}

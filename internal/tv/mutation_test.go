@@ -1,0 +1,260 @@
+package tv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"p4all/internal/codegen"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+)
+
+// The adversarial miscompile suite: every mutation below injects a bug
+// codegen could plausibly have — a wrong computed value, an action
+// scheduled in the wrong stage, a dropped invocation guard, a narrowed
+// width, a missing or extra apply step — and the validator must reject
+// every mutant. A mutant that certifies proved is a hole in the
+// equivalence proof.
+
+var mutationBase struct {
+	sync.Once
+	u      *lang.Unit
+	layout *ilpgen.Layout
+}
+
+// mutationCompile solves the CMS program once; each mutant rebuilds the
+// cheap Concrete IR from the shared layout and corrupts its own copy.
+func mutationCompile(t *testing.T) (*lang.Unit, *ilpgen.Layout, *codegen.Concrete) {
+	t.Helper()
+	mutationBase.Do(func() {
+		u, layout, _ := compileFor(t, modules.StandaloneCMS(), pisa.EvalTarget(pisa.Mb/4))
+		mutationBase.u, mutationBase.layout = u, layout
+	})
+	if mutationBase.u == nil {
+		t.Fatal("base compile failed")
+	}
+	prog, err := codegen.Build(mutationBase.u, mutationBase.layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mutationBase.u, mutationBase.layout, prog
+}
+
+func mustReject(t *testing.T, u *lang.Unit, layout *ilpgen.Layout, prog *codegen.Concrete, mutant string) *Certificate {
+	t.Helper()
+	cert := Validate(u, layout, prog, Options{Name: "mutant-" + mutant})
+	if cert.Proved() {
+		t.Fatalf("mutant %q certified proved: %s", mutant, cert.Summary())
+	}
+	return cert
+}
+
+// firstArith finds an action whose body starts with an arithmetic
+// assignment (the CMS incr actions do) and returns it.
+func firstArith(t *testing.T, prog *codegen.Concrete) *codegen.CAction {
+	t.Helper()
+	for i := range prog.Actions {
+		ca := &prog.Actions[i]
+		if !strings.Contains(ca.Name, "incr") {
+			continue
+		}
+		if len(ca.Body) > 0 {
+			if _, ok := ca.Body[0].(*codegen.CAssign); ok {
+				return ca
+			}
+		}
+	}
+	t.Fatal("no arithmetic action found")
+	return nil
+}
+
+func TestMutantWrongValueRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	ca := firstArith(t, prog)
+	asg := ca.Body[0].(*codegen.CAssign)
+	asg.RHS = &codegen.CBinary{Op: lang.PLUS, X: asg.RHS, Y: &codegen.CInt{Value: 1}}
+	mustReject(t, u, layout, prog, "wrong-value")
+}
+
+func TestMutantSwappedApplyStagesRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	i, j := -1, -1
+	for k := range prog.Apply {
+		if prog.Apply[k].Action == "" {
+			continue
+		}
+		if i < 0 {
+			i = k
+		} else if prog.Apply[k].Stage != prog.Apply[i].Stage {
+			j = k
+			break
+		}
+	}
+	if j < 0 {
+		t.Skip("layout placed everything in one stage")
+	}
+	prog.Apply[i].Stage, prog.Apply[j].Stage = prog.Apply[j].Stage, prog.Apply[i].Stage
+	cert := mustReject(t, u, layout, prog, "swapped-apply-stage")
+	found := false
+	for _, ob := range cert.Equivalence.Obligations {
+		if ob.Kind == "apply-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no apply-mismatch obligation: %+v", cert.Equivalence.Obligations)
+	}
+}
+
+func TestMutantRestagedActionRejected(t *testing.T) {
+	// Moving only the emitted action's @stage annotation (the apply
+	// block untouched) must still fail: the per-stage ALU charge moves.
+	u, layout, prog := mutationCompile(t)
+	ca := firstArith(t, prog)
+	ca.Stage = (ca.Stage + 1) % layout.Target.Stages
+	mustReject(t, u, layout, prog, "restaged-action")
+}
+
+func TestMutantDroppedGuardRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	mutated := false
+	for k := range prog.Apply {
+		if len(prog.Apply[k].Guards) > 0 {
+			prog.Apply[k].Guards = nil
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no guarded apply step to mutate")
+	}
+	mustReject(t, u, layout, prog, "dropped-guard")
+}
+
+func TestMutantNarrowedRegisterWidthRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	ca := firstArith(t, prog)
+	narrowed := false
+	var narrow func(e codegen.CExpr)
+	narrow = func(e codegen.CExpr) {
+		switch e := e.(type) {
+		case *codegen.CRegRef:
+			e.Width = e.Width / 2
+			narrowed = true
+		case *codegen.CBinary:
+			narrow(e.X)
+			narrow(e.Y)
+		case *codegen.CUnary:
+			narrow(e.X)
+		case *codegen.CCall:
+			for _, a := range e.Args {
+				narrow(a)
+			}
+		}
+	}
+	for _, s := range ca.Body {
+		if asg, ok := s.(*codegen.CAssign); ok {
+			narrow(asg.LHS)
+			narrow(asg.RHS)
+		}
+	}
+	if !narrowed {
+		t.Fatal("no register reference to narrow")
+	}
+	mustReject(t, u, layout, prog, "narrowed-width")
+}
+
+func TestMutantDroppedApplyStepRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	prog.Apply = prog.Apply[:len(prog.Apply)-1]
+	cert := mustReject(t, u, layout, prog, "dropped-apply-step")
+	found := false
+	for _, ob := range cert.Equivalence.Obligations {
+		if ob.Kind == "apply-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no apply-mismatch obligation: %+v", cert.Equivalence.Obligations)
+	}
+}
+
+func TestMutantMissingActionRejected(t *testing.T) {
+	u, layout, prog := mutationCompile(t)
+	name := firstArith(t, prog).Name
+	kept := prog.Actions[:0]
+	for _, ca := range prog.Actions {
+		if ca.Name != name {
+			kept = append(kept, ca)
+		}
+	}
+	prog.Actions = kept
+	mustReject(t, u, layout, prog, "missing-action")
+}
+
+// ---- layout tampering: the independent audit must catch it ----
+
+func cloneLayout(l *ilpgen.Layout) *ilpgen.Layout {
+	c := *l
+	c.Symbolics = make(map[string]int64, len(l.Symbolics))
+	for k, v := range l.Symbolics {
+		c.Symbolics[k] = v
+	}
+	c.Placements = append([]ilpgen.Placement(nil), l.Placements...)
+	c.Registers = make([]ilpgen.RegPlacement, len(l.Registers))
+	for i, rp := range l.Registers {
+		c.Registers[i] = rp
+		c.Registers[i].Stages = append([]int(nil), rp.Stages...)
+		c.Registers[i].Bits = make(map[int]int64, len(rp.Bits))
+		for s, b := range rp.Bits {
+			c.Registers[i].Bits[s] = b
+		}
+	}
+	c.Stages = append([]ilpgen.StageUse(nil), l.Stages...)
+	return &c
+}
+
+func auditMustFail(t *testing.T, u *lang.Unit, layout *ilpgen.Layout, mutant string) {
+	t.Helper()
+	res := Audit(u, layout)
+	if !res.Failed() {
+		t.Fatalf("audit passed tampered layout %q", mutant)
+	}
+}
+
+func TestAuditRejectsInflatedRegisterBits(t *testing.T) {
+	u, layout, _ := mutationCompile(t)
+	l := cloneLayout(layout)
+	rp := &l.Registers[0]
+	rp.Bits[rp.Stages[0]] += int64(rp.Width)
+	auditMustFail(t, u, l, "inflated-bits")
+}
+
+func TestAuditRejectsMovedPlacement(t *testing.T) {
+	u, layout, _ := mutationCompile(t)
+	l := cloneLayout(layout)
+	moved := false
+	for i := range l.Placements {
+		if l.Placements[i].Stage > 0 {
+			l.Placements[i].Stage = 0
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Skip("single-stage layout")
+	}
+	auditMustFail(t, u, l, "moved-placement")
+}
+
+func TestAuditRejectsTamperedSymbolic(t *testing.T) {
+	u, layout, _ := mutationCompile(t)
+	l := cloneLayout(layout)
+	// A solved value out of sync with the placements: the rebuilt
+	// instance set no longer matches the placement bijection.
+	l.Symbolics["cms_rows"] = l.Symbolics["cms_rows"] + 7
+	auditMustFail(t, u, l, "tampered-symbolic")
+}

@@ -1,0 +1,137 @@
+// Package tv is the translation validator: it certifies that one
+// solved compile — an ilpgen.Layout plus the concrete program codegen
+// built from it — faithfully implements its elastic source.
+//
+// Two independent halves feed one Certificate:
+//
+//   - Equivalence (eval.go): bounded symbolic execution of the unrolled
+//     source (under the solved symbolic assignment) and of the emitted
+//     program over a shared symbolic packet and register file, both
+//     walking the layout's canonical (stage, invocation order,
+//     iteration) schedule with the emitted apply block reconciled
+//     against it at setup. Every feasible path must agree on header
+//     outputs, metadata, final register state, Stats counters, and
+//     abort behavior. Residual obligations fall back to concrete
+//     counterexample search and a failed verdict — never a silent pass.
+//   - Audit (audit.go): re-derives stage, ALU, memory, register, and
+//     PHV budgets from the layout and the source, checked directly
+//     against the pisa target spec without trusting ilpgen's own
+//     constraint matrix.
+//
+// See docs/TRANSLATION_VALIDATION.md for the exact semantics covered
+// and the honest list of what is not proven.
+package tv
+
+import (
+	"p4all/internal/check"
+	"p4all/internal/codegen"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/obs"
+)
+
+// Options configures one validation run.
+type Options struct {
+	// Name labels the certificate (the app or file being compiled).
+	Name string
+	// PathBudget bounds the number of enumerated source paths
+	// (default 65536). Exceeding it is a failed obligation.
+	PathBudget int
+	// DecisionBudget bounds total free branch decisions (default
+	// 4x PathBudget); a backstop against degenerate branch nests.
+	DecisionBudget int
+	// FallbackSamples is the number of concrete trials the
+	// counterexample search runs per failed run (default 64).
+	FallbackSamples int
+	// Tracer receives tv.* spans and counters (nil disables).
+	Tracer *obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "program"
+	}
+	if o.PathBudget <= 0 {
+		o.PathBudget = 1 << 16
+	}
+	if o.DecisionBudget <= 0 {
+		o.DecisionBudget = 4 * o.PathBudget
+	}
+	if o.FallbackSamples <= 0 {
+		o.FallbackSamples = 64
+	}
+	return o
+}
+
+// Validate certifies one compile. It never returns an error: every
+// problem — including the validator's own inability to model a
+// construct — is an obligation in the certificate, and the verdict is
+// proved only when nothing remains.
+func Validate(u *lang.Unit, layout *ilpgen.Layout, prog *codegen.Concrete, opts Options) *Certificate {
+	opts = opts.withDefaults()
+	span := opts.Tracer.StartSpan("tv.validate",
+		obs.String("program", opts.Name),
+		obs.String("target", layout.Target.Name))
+
+	cert := &Certificate{
+		Schema:       CertSchema,
+		Program:      opts.Name,
+		Target:       layout.Target.Name,
+		SourceSHA256: sha256Hex(u.Source),
+		P4SHA256:     sha256Hex(codegen.Render(prog)),
+	}
+	for _, sym := range u.Symbolics {
+		cert.Symbolics = append(cert.Symbolics, SymbolicValue{Name: sym.Name, Value: layout.Symbolics[sym.Name]})
+	}
+	for _, w := range check.Bounds(u) {
+		cert.BoundsWarnings = append(cert.BoundsWarnings, w.String())
+	}
+
+	auditSpan := span.Child("tv.audit")
+	cert.Audit = *Audit(u, layout)
+	auditSpan.End()
+
+	eqSpan := span.Child("tv.equivalence")
+	m, setupFail := newMachine(u, layout, prog, opts.PathBudget, opts.DecisionBudget)
+	if setupFail != nil {
+		cert.Equivalence = EquivalenceReport{
+			Fallbacks:   1,
+			Obligations: []Obligation{{Kind: setupFail.Kind, Detail: setupFail.Detail, Paths: 0}},
+		}
+	} else {
+		eq := runEquivalence(m, opts.FallbackSamples)
+		cert.Equivalence = EquivalenceReport{
+			Paths:           eq.Paths,
+			PathsProved:     eq.PathsProved,
+			Decisions:       eq.Decisions,
+			PrunedDecisions: eq.Pruned,
+			Fallbacks:       eq.Fallbacks,
+			Samples:         eq.Samples,
+			Counterexample:  eq.Counterexample,
+			Obligations:     obligations(eq.Failures),
+		}
+	}
+	eqSpan.SetAttrs(
+		obs.Int("paths", cert.Equivalence.Paths),
+		obs.Int("obligations", len(cert.Equivalence.Obligations)))
+	eqSpan.End()
+
+	if len(cert.Equivalence.Obligations) == 0 && !cert.Audit.Failed() {
+		cert.Verdict = VerdictProved
+	} else {
+		cert.Verdict = VerdictFailed
+	}
+
+	if tr := opts.Tracer; tr != nil {
+		tr.Counter("tv.paths").Add(int64(cert.Equivalence.Paths))
+		tr.Counter("tv.decisions").Add(int64(cert.Equivalence.Decisions))
+		tr.Counter("tv.pruned").Add(int64(cert.Equivalence.PrunedDecisions))
+		tr.Counter("tv.fallbacks").Add(int64(cert.Equivalence.Fallbacks))
+		if !cert.Proved() {
+			tr.Counter("tv.failed").Add(1)
+		}
+	}
+	span.SetAttrs(obs.String("verdict", cert.Verdict))
+	span.End()
+	return cert
+}

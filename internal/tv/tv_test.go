@@ -1,0 +1,247 @@
+package tv
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p4all/internal/apps"
+	"p4all/internal/codegen"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+	"p4all/internal/unroll"
+)
+
+var update = flag.Bool("update", false, "rewrite golden certificate files")
+
+// compileFor runs the compile pipeline inline. The tests cannot use
+// internal/core (it imports this package), so they drive the phases
+// directly, with the same deterministic solver configuration the
+// difftest harness uses.
+func compileFor(t testing.TB, src string, target pisa.Target) (*lang.Unit, *ilpgen.Layout, *codegen.Concrete) {
+	t.Helper()
+	u, err := lang.ParseAndResolve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := unroll.UpperBounds(u, &target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilpProg, err := ilpgen.Generate(u, &target, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := ilpProg.Solve(ilp.Options{Deterministic: true, Gap: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Build(u, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, layout, prog
+}
+
+func mustProve(t *testing.T, cert *Certificate) {
+	t.Helper()
+	if cert.Proved() {
+		return
+	}
+	t.Errorf("verdict %s: %s", cert.Verdict, cert.Summary())
+	for _, ob := range cert.Equivalence.Obligations {
+		t.Errorf("  obligation %s: %s (%d paths)", ob.Kind, ob.Detail, ob.Paths)
+	}
+	for _, c := range cert.Audit.Checks {
+		if !c.OK {
+			t.Errorf("  audit %s: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+// TestAppsCertifyProved is the headline acceptance check: all four
+// benchmark applications must certify with a fully symbolic proof —
+// zero residual obligations, zero concrete fallbacks.
+func TestAppsCertifyProved(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			u, layout, prog := compileFor(t, app.Source, pisa.EvalTarget(pisa.Mb))
+			cert := Validate(u, layout, prog, Options{Name: app.Name})
+			mustProve(t, cert)
+			if cert.Equivalence.Fallbacks != 0 {
+				t.Errorf("%d fallbacks, want a fully symbolic proof", cert.Equivalence.Fallbacks)
+			}
+			if cert.Equivalence.Paths == 0 {
+				t.Error("no paths enumerated")
+			}
+		})
+	}
+}
+
+func TestLibraryModulesCertifyProved(t *testing.T) {
+	for name, src := range map[string]string{
+		"cms":   modules.StandaloneCMS(),
+		"bloom": modules.StandaloneBloom(),
+		"kvs":   modules.StandaloneKVS(),
+		"ht":    modules.StandaloneHashTable(),
+	} {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			u, layout, prog := compileFor(t, src, pisa.EvalTarget(pisa.Mb/4))
+			cert := Validate(u, layout, prog, Options{Name: name})
+			mustProve(t, cert)
+		})
+	}
+}
+
+// TestTableProgramProved exercises the table path of the schedule
+// reconciliation: the match placement must line up with the table's
+// apply entry, and the table-dispatched actions (absent from the apply
+// block) must still execute at their placed slots on both sides.
+func TestTableProgramProved(t *testing.T) {
+	src := `
+header ipv4 { bit<32> dst; }
+struct meta { bit<9> port; }
+action set_port() { meta.port = 1; }
+action drop_pkt() { meta.port = 0; }
+table fwd {
+    key = { ipv4.dst; }
+    actions = { set_port; drop_pkt; }
+    size = 512;
+}
+control main { apply { fwd.apply(); } }
+`
+	u, layout, prog := compileFor(t, src, pisa.EvalTarget(pisa.Mb))
+	cert := Validate(u, layout, prog, Options{Name: "fwd"})
+	mustProve(t, cert)
+}
+
+// TestDivergentAbortPathsProved: a symbolic divisor forks an abort path
+// (division by zero); both sides must abort identically on it and agree
+// on the surviving path.
+func TestDivergentAbortPathsProved(t *testing.T) {
+	src := `
+header pkt { bit<32> a; bit<32> b; }
+struct meta { bit<32> q; }
+action div_it() { meta.q = pkt.a / pkt.b; }
+control main { apply { div_it(); } }
+`
+	u, layout, prog := compileFor(t, src, pisa.EvalTarget(pisa.Mb))
+	cert := Validate(u, layout, prog, Options{Name: "div"})
+	mustProve(t, cert)
+	if cert.Equivalence.Paths != 2 {
+		t.Errorf("paths = %d, want 2 (divisor zero and nonzero)", cert.Equivalence.Paths)
+	}
+}
+
+func TestPathBudgetIsAnObligation(t *testing.T) {
+	u, layout, prog := compileFor(t, modules.StandaloneCMS(), pisa.EvalTarget(pisa.Mb/4))
+	cert := Validate(u, layout, prog, Options{Name: "cms", PathBudget: 1})
+	if cert.Proved() {
+		t.Fatal("path budget 1 must not prove a branching program")
+	}
+	found := false
+	for _, ob := range cert.Equivalence.Obligations {
+		if ob.Kind == "path-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no path-budget obligation: %+v", cert.Equivalence.Obligations)
+	}
+}
+
+// TestCertificateDeterminism: the same compile must produce
+// byte-identical certificate JSON across repeated validations and
+// across solver thread counts (the deterministic solver pins the
+// layout; everything downstream must be order-stable).
+func TestCertificateDeterminism(t *testing.T) {
+	src := modules.StandaloneCMS()
+	target := pisa.EvalTarget(pisa.Mb / 4)
+	u, err := lang.ParseAndResolve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := unroll.UpperBounds(u, &target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilpProg, err := ilpgen.Generate(u, &target, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	for _, threads := range []int{1, 4} {
+		layout, err := ilpProg.Solve(ilp.Options{Deterministic: true, Gap: 0.1, Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := codegen.Build(u, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			cert := Validate(u, layout, prog, Options{Name: "cms"})
+			data, err := cert.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev == nil {
+				prev = data
+			} else if !bytes.Equal(prev, data) {
+				t.Fatalf("certificate not byte-stable (threads=%d rep=%d):\n%s\nvs\n%s",
+					threads, rep, prev, data)
+			}
+		}
+	}
+}
+
+// TestCertificateGolden pins the exact certificate bytes for a small
+// deterministic compile. Regenerate with `go test ./internal/tv -run
+// Golden -update` after an intentional schema or semantics change.
+func TestCertificateGolden(t *testing.T) {
+	u, layout, prog := compileFor(t, modules.StandaloneCMS(), pisa.RunningExampleTarget())
+	cert := Validate(u, layout, prog, Options{Name: "cms"})
+	data, err := cert.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "cms_certificate.golden")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("certificate drifted from golden file:\n got:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+// TestAuditBudgetsReported: a proved certificate carries the re-derived
+// per-stage budgets, each within its target limit.
+func TestAuditBudgetsReported(t *testing.T) {
+	u, layout, prog := compileFor(t, modules.StandaloneCMS(), pisa.EvalTarget(pisa.Mb/4))
+	cert := Validate(u, layout, prog, Options{Name: "cms"})
+	mustProve(t, cert)
+	if len(cert.Audit.Budgets) == 0 {
+		t.Fatal("no budgets in audit")
+	}
+	for _, b := range cert.Audit.Budgets {
+		if b.Used > b.Limit {
+			t.Errorf("budget %s stage %d: used %d > limit %d (audit should have failed)",
+				b.Resource, b.Stage, b.Used, b.Limit)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
 	"p4all/internal/sim"
+	"p4all/internal/tv"
 )
 
 // Target re-exports the PISA target model (the paper's Figure 3
@@ -71,6 +72,14 @@ type Layout = ilpgen.Layout
 // ErrInfeasible reports that a program cannot fit its target under the
 // declared assume constraints.
 var ErrInfeasible = ilpgen.ErrInfeasible
+
+// Certificate is a translation-validation certificate: the machine-
+// checkable evidence that the generated concrete program is equivalent
+// to the elastic source under the solved layout, plus an independent
+// re-derivation of the layout's resource budgets. Produced when
+// Options.Certify is set (Result.Certificate); see
+// docs/TRANSLATION_VALIDATION.md.
+type Certificate = tv.Certificate
 
 // Compile runs the full P4All pipeline (parse → dependency analysis →
 // unroll bounds → ILP → solve → code generation) on source.
