@@ -6,22 +6,25 @@ SHELL := /bin/bash -o pipefail
 
 GO        ?= go
 # The benchmark families CI measures: the ILP solver scaling pair
-# (gated on ns/op), the sim engine benchmarks (plan replay gated on
-# both ns/op and allocs/op), the sharded serving runtime (gated on
-# allocs/op — its hot loop is pinned at zero), the translation
-# validator (gated on ns/op — a path-count blowup shows up here), plus
-# the Figure 9 and drift end-to-end benchmarks (reported, never gated
-# — see cmd/benchgate).
-BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|ServeScaling|Certify
+# (gated on ns/op), the sim engine benchmarks (plan replay and the VM's
+# batched replay gated on both ns/op and allocs/op, with the VM
+# additionally held to >=1.5x the plan's speed within the same run),
+# the sharded serving runtime (gated on allocs/op — its hot loop is
+# pinned at zero), the translation validator (gated on ns/op — a
+# path-count blowup shows up here), plus the Figure 9 and drift
+# end-to-end benchmarks (reported, never gated — see cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|SimReplayVM|ServeScaling|Certify
 BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
 .PHONY: build test race lint check bench bench-baseline bench-gate \
-	difftest fuzz-smoke serve-smoke certify
+	difftest difftest-vm fuzz-smoke serve-smoke certify
 
-# Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md).
-FUZZTIME ?= 30s
+# Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md). Four
+# targets at 22s each keep the job's total fuzz budget where it was
+# when three targets ran at 30s.
+FUZZTIME ?= 22s
 FUZZPKG  := ./internal/difftest/
 
 build:
@@ -40,12 +43,21 @@ check: build test race
 
 # bench writes the raw output to bench-new.txt for benchstat/benchgate.
 # -benchmem so the allocs/op columns feed benchgate's allocation gate.
+# The output goes through a temp file moved into place only on success:
+# tee would otherwise truncate bench-new.txt the moment the pipeline
+# starts, so a failed run (even a build error) used to leave a stale or
+# empty file behind for bench-gate to compare against.
 bench:
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | tee bench-new.txt
+	rm -f bench-new.txt
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | tee bench-new.tmp \
+		&& mv bench-new.tmp bench-new.txt \
+		|| { rm -f bench-new.tmp; exit 1; }
 
 # bench-gate compares bench-new.txt against the checked-in baseline:
-# fails on a >25% geomean ns/op regression in the gated benchmarks, or
-# on any allocs/op increase in the plan-engine replay benchmarks.
+# fails on a >25% geomean ns/op regression in the gated benchmarks, on
+# any allocs/op increase in the compiled-engine replay benchmarks, or
+# when the VM's batched replay drops below 1.5x the plan engine's
+# speed within the same run.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline $(BASELINE) < bench-new.txt
 
@@ -59,6 +71,22 @@ bench-baseline:
 # oracles x four apps x three budgets (see docs/DIFFTEST.md).
 difftest:
 	$(GO) run ./cmd/difftest -seed 1 -n 10000
+
+# difftest-vm runs the full oracle matrix once per compiled engine —
+# the replay oracles on the closure plan, then again on the bytecode
+# VM — so the VM's batched execution sits under every oracle, not just
+# the engine-equivalence one. Both runs execute even if the first
+# fails; failure reports with minimized repro streams land in
+# difftest-failures/ for CI artifact upload.
+DIFFTEST_N ?= 10000
+difftest-vm:
+	mkdir -p difftest-failures
+	rc=0; \
+	$(GO) run ./cmd/difftest -seed 1 -n $(DIFFTEST_N) -engine plan \
+		-failures difftest-failures/plan.txt || rc=1; \
+	$(GO) run ./cmd/difftest -seed 1 -n $(DIFFTEST_N) -engine vm \
+		-failures difftest-failures/vm.txt || rc=1; \
+	exit $$rc
 
 # certify compiles every benchmark app with the translation validator
 # enabled, writing one equivalence certificate per app to $(CERTDIR)
@@ -84,6 +112,7 @@ certify:
 # regression inputs after fixing the bug.
 fuzz-smoke:
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSimVsGolden -fuzztime=$(FUZZTIME)
+	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzVMVsPlan -fuzztime=$(FUZZTIME)
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test $(FUZZPKG) -run='^$$' -fuzz=FuzzMigrateCMS -fuzztime=$(FUZZTIME)
 

@@ -20,6 +20,15 @@
 // pinned at exactly zero allocations and a single new allocation is a
 // real regression.
 //
+// A third gate is cross-engine and entirely within the fresh run: for
+// every BenchmarkSimReplayVM/<app>, the closure plan's geomean ns/op
+// from the same input (BenchmarkSimReplay/<app>/engine=plan) must be
+// at least -vmratio times the VM's — the bytecode VM's speed advantage
+// is an acceptance criterion, not an accident. Because both sides come
+// from one run on one machine, the ratio is hermetic: machine speed
+// cancels out and no baseline is consulted. Inputs without VM
+// benchmarks skip this gate, so older recordings stay usable.
+//
 // Names are normalized by stripping the trailing -N GOMAXPROCS suffix
 // so runs from machines with different core counts compare; the
 // threads=N sub-benchmark dimension is part of the name and survives.
@@ -168,6 +177,44 @@ func compareAllocs(w io.Writer, base, fresh map[string]float64, gate *regexp.Reg
 	return checked, regressed
 }
 
+// vmPairName matches the VM replay family and captures the app so the
+// gate can find the plan engine's run of the same app.
+var vmPairName = regexp.MustCompile(`^BenchmarkSimReplayVM/(.+)$`)
+
+// compareVMRatio enforces the cross-engine speed contract within one
+// run's summarized samples: plan ns/op divided by VM ns/op must reach
+// minRatio for every app that has both benchmarks. It prints one line
+// per pair and returns how many pairs it checked and how many fell
+// short. A VM benchmark whose plan counterpart is absent from the run
+// is reported but not counted — the gate cannot judge half a pair.
+func compareVMRatio(w io.Writer, fresh map[string]float64, minRatio float64) (checked, failed int) {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if vmPairName.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		app := vmPairName.FindStringSubmatch(name)[1]
+		planName := "BenchmarkSimReplay/" + app + "/engine=plan"
+		plan, ok := fresh[planName]
+		if !ok {
+			fmt.Fprintf(w, "VM RATIO %s: no %s in this run, pair skipped\n", name, planName)
+			continue
+		}
+		checked++
+		ratio := plan / fresh[name]
+		if ratio < minRatio {
+			failed++
+			fmt.Fprintf(w, "VM RATIO FAIL %s: %.2fx plan, want >= %.2fx\n", name, ratio, minRatio)
+		} else {
+			fmt.Fprintf(w, "vm ratio %s: %.2fx plan (>= %.2fx)\n", name, ratio, minRatio)
+		}
+	}
+	return checked, failed
+}
+
 // compare renders the delta table and returns the geomean ratio over
 // the gated benchmarks plus how many of them matched.
 func compare(w io.Writer, base, fresh map[string]float64, gate *regexp.Regexp) (ratio float64, gated int) {
@@ -208,8 +255,9 @@ func main() {
 	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
-	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkCertify`, "regexp selecting the benchmarks that can fail the ns/op gate")
-	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkCertify`, "regexp selecting the benchmarks that can fail the ns/op gate")
+	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
+	vmRatio := flag.Float64("vmratio", 1.5, "fail when BenchmarkSimReplayVM/<app> is below this multiple of the same run's plan-engine speed (0 disables)")
 	flag.Parse()
 
 	if *text {
@@ -261,7 +309,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ratio, gated := compare(os.Stdout, base.NsPerOp, summarize(samples), gate)
+	fresh := summarize(samples)
+	ratio, gated := compare(os.Stdout, base.NsPerOp, fresh, gate)
 	if gated == 0 {
 		fatal(fmt.Errorf("benchgate: no benchmarks matched gate %q", *gatePat))
 	}
@@ -278,6 +327,17 @@ func main() {
 		checked, regressed := compareAllocs(os.Stdout, base.AllocsPerOp, summarizeMax(allocSamples), allocGate)
 		fmt.Printf("alloc gate %q: %d benchmarks checked, %d regressed\n", *allocGatePat, checked, regressed)
 		if regressed > 0 {
+			failed = true
+		}
+	}
+	if *vmRatio > 0 {
+		checked, slow := compareVMRatio(os.Stdout, fresh, *vmRatio)
+		if checked == 0 {
+			fmt.Println("vm ratio gate: no SimReplayVM/plan pairs in this run, skipped")
+		} else {
+			fmt.Printf("vm ratio gate: %d pairs checked, %d below %.2fx\n", checked, slow, *vmRatio)
+		}
+		if slow > 0 {
 			failed = true
 		}
 	}

@@ -120,6 +120,37 @@ func TestCompareGatesOnlyMatchingBenchmarks(t *testing.T) {
 	}
 }
 
+func TestCompareVMRatioPairsWithinRun(t *testing.T) {
+	fresh := map[string]float64{
+		"BenchmarkSimReplayVM/NetCache":             1000, // 3.0x plan: ok
+		"BenchmarkSimReplay/NetCache/engine=plan":   3000,
+		"BenchmarkSimReplayVM/Precision":            2500, // 1.2x plan: too slow
+		"BenchmarkSimReplay/Precision/engine=plan":  3000,
+		"BenchmarkSimReplayVM/ConQuest":             1000, // no plan pair in run
+		"BenchmarkSimReplay/ConQuest/engine=interp": 90000,
+	}
+	var buf strings.Builder
+	checked, failed := compareVMRatio(&buf, fresh, 1.5)
+	if checked != 2 || failed != 1 {
+		t.Fatalf("checked=%d failed=%d, want 2/1:\n%s", checked, failed, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VM RATIO FAIL BenchmarkSimReplayVM/Precision") {
+		t.Fatalf("slow pair not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkSimReplayVM/ConQuest") || strings.Contains(out, "FAIL BenchmarkSimReplayVM/ConQuest") {
+		t.Fatalf("half pair should be reported but not failed:\n%s", out)
+	}
+}
+
+func TestCompareVMRatioNoPairs(t *testing.T) {
+	var buf strings.Builder
+	checked, failed := compareVMRatio(&buf, map[string]float64{"BenchmarkILPSolveSmall": 100}, 1.5)
+	if checked != 0 || failed != 0 {
+		t.Fatalf("checked=%d failed=%d on a run without VM benchmarks", checked, failed)
+	}
+}
+
 func TestCompareReportsMissingAndNew(t *testing.T) {
 	base := map[string]float64{"BenchmarkILPSolveGone": 1000}
 	fresh := map[string]float64{"BenchmarkILPSolveAdded": 500}

@@ -9,8 +9,11 @@
 //	go run ./cmd/difftest -apps NetCache,Precision -budgets 524288,1048576
 //	go run ./cmd/difftest -oracles golden,snapshot -n 100000 -seed 7
 //	go run ./cmd/difftest -engine interp -n 10000   # bisect to the engine
+//	go run ./cmd/difftest -engine vm -failures out.txt   # CI artifact
 //
-// See docs/DIFFTEST.md for the oracle definitions.
+// -failures writes every failure report (including shrunken repros) to
+// a file as well as stdout, so CI jobs can upload counterexamples as
+// artifacts. See docs/DIFFTEST.md for the oracle definitions.
 package main
 
 import (
@@ -30,8 +33,9 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all four)")
 	budgetsFlag := flag.String("budgets", "", "comma-separated per-stage memory budgets in bits (default: 524288,1048576,2097152)")
 	oraclesFlag := flag.String("oracles", "", "comma-separated oracle subset: layout,golden,snapshot,engine,certify,migrate (default: all)")
-	engine := flag.String("engine", "", "sim engine the replay oracles use: plan or interp (default plan)")
+	engine := flag.String("engine", "", "sim engine the replay oracles use: plan, interp, or vm (default plan)")
 	shrink := flag.Bool("shrink", true, "minimize failing streams before reporting")
+	failuresPath := flag.String("failures", "", "also write failure reports (with minimized repros) to this file")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -65,9 +69,29 @@ func main() {
 	}
 	fmt.Printf("difftest: %d oracle checks, %d packets replayed, %d failures (seed %d)\n",
 		rep.Checks, rep.Packets, len(rep.Failures), *seed)
+	if *failuresPath != "" && !rep.Ok() {
+		if err := writeFailures(*failuresPath, rep, *seed, *engine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if !rep.Ok() {
 		os.Exit(1)
 	}
+}
+
+// writeFailures renders the failure reports (minimized repros
+// included) to path for CI artifact upload.
+func writeFailures(path string, rep *difftest.Report, seed int64, engine string) error {
+	var b strings.Builder
+	if engine == "" {
+		engine = "plan"
+	}
+	fmt.Fprintf(&b, "difftest failures: engine=%s seed=%d checks=%d\n\n", engine, seed, rep.Checks)
+	for _, f := range rep.Failures {
+		fmt.Fprintf(&b, "FAIL %s\n\n", f)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 func splitList(s string) []string {

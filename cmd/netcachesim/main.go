@@ -11,7 +11,7 @@
 //
 // With -simreplay N it compiles NetCache, replays N Zipf packets
 // through the behavioral pipeline on the engine chosen by -engine
-// (plan or interp), and reports packets/sec plus the pipeline's
+// (plan, interp, or vm), and reports packets/sec plus the pipeline's
 // resource counters — a quick way to bisect a throughput regression
 // to the execution engine (see docs/SIM_PERF.md). Adding -shards M
 // replays through the sharded serving runtime (M flow-hashed
@@ -50,7 +50,7 @@ func main() {
 		trace    = flag.String("trace", "", "write a JSONL trace of the shape compile and simulation to this file")
 		summary  = flag.Bool("summary", false, "print an observability summary table to stderr")
 		drift    = flag.Bool("drift", false, "run the workload-drift experiment (frozen vs elastic controller)")
-		engine   = flag.String("engine", "plan", "sim execution engine: plan or interp")
+		engine   = flag.String("engine", "plan", "sim execution engine: plan, interp, or vm")
 		replayN  = flag.Int("simreplay", 0, "replay N packets through the behavioral pipeline and report packets/sec (0: off)")
 		shards   = flag.Int("shards", 1, "with -simreplay: replay through the sharded serving runtime with this many shards")
 	)

@@ -12,9 +12,11 @@
 //     shared hash contract makes the comparison exact);
 //  3. snapshot round-trip — Snapshot/Restore at arbitrary stream
 //     prefixes must not perturb subsequent outputs;
-//  4. engine equivalence — the compiled execution plan and the
-//     reference AST interpreter must produce identical outputs,
-//     register end-state, and Stats counters for every packet;
+//  4. engine equivalence — the compiled closure plan and the bytecode
+//     VM (exercised through its batched replay path) must both match
+//     the reference AST interpreter's outputs, register end-state, and
+//     Stats counters for every packet, with compiler fallbacks on the
+//     suite treated as failures;
 //  5. migration soundness — elastic CMS state migration never
 //     underestimates relative to a fresh sketch fed the same suffix;
 //  6. translation validation — every compiled layout must certify:
@@ -183,9 +185,9 @@ type Config struct {
 	Apps []string
 	// Oracles filters the oracle set; empty runs all six.
 	Oracles []string
-	// Engine selects the sim execution engine ("plan" or "interp") the
-	// golden, snapshot, and layout oracles replay with. Empty means
-	// "plan". The engine oracle always runs both regardless.
+	// Engine selects the sim execution engine ("plan", "interp", or
+	// "vm") the golden, snapshot, and layout oracles replay with. Empty
+	// means "plan". The engine oracle always runs all three regardless.
 	Engine string
 	// LayoutVariants caps how many (app, budget) pairs run the
 	// expensive layout-invariance oracle (each costs three extra ILP

@@ -5,9 +5,10 @@ import (
 )
 
 // TestEngineEquivalenceAllApps runs the engine oracle directly over a
-// long generated stream for every suite app: interpreter and compiled
-// plan must agree on outputs, register end-state, and Stats — and the
-// plan compiler must not have fallen back for any of them.
+// long generated stream for every suite app: the interpreter, the
+// compiled plan, and the bytecode VM (via its batched replay) must
+// agree on outputs, register end-state, and Stats — and neither
+// compiled engine may have fallen back for any of them.
 func TestEngineEquivalenceAllApps(t *testing.T) {
 	compiled := fuzzCompileAll(t)
 	for _, spec := range Specs() {

@@ -80,8 +80,9 @@ func fuzzSpec(appIdx byte) AppSpec {
 
 // FuzzSimVsGolden replays arbitrary byte-derived streams against the
 // golden models (oracle 2 under coverage guidance), and cross-checks
-// the two execution engines against each other on the same stream
-// (oracle 4), so every corpus entry also fuzzes the plan compiler.
+// all three execution engines against each other on the same stream
+// (oracle 4), so every corpus entry also fuzzes the plan compiler and
+// the VM lowering.
 func FuzzSimVsGolden(f *testing.F) {
 	compiled := fuzzCompileAll(f)
 	f.Add(byte(0), []byte("netcache-seed"))
@@ -108,6 +109,72 @@ func FuzzSimVsGolden(f *testing.F) {
 		}
 		if detail != "" {
 			t.Fatalf("%s: engine oracle: %s\n%s", spec.Name, detail, formatStream(stream))
+		}
+	})
+}
+
+// FuzzVMVsPlan cross-checks the two compiled engines directly: the
+// bytecode VM's batched struct-of-arrays replay against the closure
+// plan's per-packet execution, on byte-derived streams with dense key
+// collisions. Skipping the interpreter keeps each input cheap, so
+// coverage guidance explores the VM's segment boundaries (partial
+// batches, guard jumps across serial/vector splits) much faster than
+// the three-way oracle can. Outputs, register end-state, and Stats
+// must all agree; a fallback on either engine fails.
+func FuzzVMVsPlan(f *testing.F) {
+	compiled := fuzzCompileAll(f)
+	f.Add(byte(0), []byte("vm-netcache-seed"))
+	f.Add(byte(1), []byte("vm-sketchlearn-seed"))
+	f.Add(byte(2), []byte("\x00\x01\x02\x03\xfe\xff"))
+	f.Add(byte(3), []byte("vm-conquest-seed"))
+	f.Fuzz(func(t *testing.T, appIdx byte, data []byte) {
+		spec := fuzzSpec(appIdx)
+		res := compiled[spec.Name]
+		stream := streamFromBytes(spec, data)
+		planned, err := newPipeline(res, sim.EnginePlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmpipe, err := newPipeline(res, sim.EngineVM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ferr := planned.Fallback(); ferr != nil {
+			t.Fatalf("%s: plan fell back: %v", spec.Name, ferr)
+		}
+		if ferr := vmpipe.Fallback(); ferr != nil {
+			t.Fatalf("%s: vm fell back: %v", spec.Name, ferr)
+		}
+		golden, err := spec.NewGolden(res.Layout, int64(appIdx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := golden.SeedRegisters(planned); err != nil {
+			t.Fatal(err)
+		}
+		if err := golden.SeedRegisters(vmpipe); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]map[string]uint64, len(stream))
+		for i, pkt := range stream {
+			if want[i], err = planned.Process(pkt); err != nil {
+				t.Fatalf("%s: plan packet %d: %v", spec.Name, i, err)
+			}
+		}
+		err = vmpipe.Replay(stream, func(i int, v sim.View) error {
+			if d := diffOutputs(i, want[i], v.Map()); d != nil {
+				t.Fatalf("%s: vm diverged from plan: %s\n%s", spec.Name, d, formatStream(stream))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: vm replay: %v", spec.Name, err)
+		}
+		if d := diffSnapshots(planned.Snapshot(), vmpipe.Snapshot()); d != "" {
+			t.Fatalf("%s: register end-state: %s\n%s", spec.Name, d, formatStream(stream))
+		}
+		if d := diffStats(planned.Stats(), vmpipe.Stats()); d != "" {
+			t.Fatalf("%s: stats: %s\n%s", spec.Name, d, formatStream(stream))
 		}
 	})
 }

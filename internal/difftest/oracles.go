@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,9 +20,15 @@ type divergence struct {
 	packet    int
 	field     string
 	got, want uint64
+	// engine names the engine that produced got when the oracle
+	// compares more than two (oracle 4); empty elsewhere.
+	engine string
 }
 
 func (d *divergence) String() string {
+	if d.engine != "" {
+		return fmt.Sprintf("packet %d (%s): %s = %d, want %d", d.packet, d.engine, d.field, d.got, d.want)
+	}
 	return fmt.Sprintf("packet %d: %s = %d, want %d", d.packet, d.field, d.got, d.want)
 }
 
@@ -366,12 +373,19 @@ func diffSnapshots(a, b *sim.Snapshot) string {
 
 // --- oracle 4: engine equivalence ---------------------------------------
 
-// replayEngines runs the same stream through the reference interpreter
-// and the compiled plan side by side. Beyond per-packet outputs, the
-// final register state and every Stats counter must agree — the plan's
-// cost model is part of its contract. A plan-compiler fallback is
-// itself a failure (detail non-empty): the suite's apps are all
-// expected to lower.
+// errEngineDiverged aborts a VM replay as soon as the sink records a
+// divergence — the rest of the stream can't add information.
+var errEngineDiverged = errors.New("difftest: engine diverged")
+
+// replayEngines runs the same stream through all three engines: the
+// reference AST interpreter (per-packet Process), the compiled closure
+// plan (per-packet Process), and the bytecode VM (batched Replay — the
+// production path, so struct-of-arrays batch execution sits under the
+// oracle too). Beyond per-packet outputs, the final register state and
+// every Stats counter must agree across the trio — the compiled
+// engines' cost model is part of their contract. A compiler fallback
+// on either compiled engine is itself a failure (detail non-empty):
+// the suite's apps are all expected to lower.
 func replayEngines(spec AppSpec, res *core.Result, stream []sim.Packet, seed int64) (*divergence, string, error) {
 	interp, err := newPipeline(res, sim.EngineInterp)
 	if err != nil {
@@ -381,39 +395,68 @@ func replayEngines(spec AppSpec, res *core.Result, stream []sim.Packet, seed int
 	if err != nil {
 		return nil, "", err
 	}
-	if ferr := planned.PlanFallback(); ferr != nil {
+	vmpipe, err := newPipeline(res, sim.EngineVM)
+	if err != nil {
+		return nil, "", err
+	}
+	if ferr := planned.Fallback(); ferr != nil {
 		return nil, "plan compiler fell back to the interpreter: " + ferr.Error(), nil
 	}
-	// One golden seeds both pipelines with identical preconditions.
+	if ferr := vmpipe.Fallback(); ferr != nil {
+		return nil, "vm lowering fell back to the interpreter: " + ferr.Error(), nil
+	}
+	// One golden seeds every pipeline with identical preconditions.
 	golden, err := spec.NewGolden(res.Layout, seed)
 	if err != nil {
 		return nil, "", err
 	}
-	if err := golden.SeedRegisters(interp); err != nil {
-		return nil, "", err
+	for _, pipe := range []*sim.Pipeline{interp, planned, vmpipe} {
+		if err := golden.SeedRegisters(pipe); err != nil {
+			return nil, "", err
+		}
 	}
-	if err := golden.SeedRegisters(planned); err != nil {
-		return nil, "", err
-	}
+	want := make([]map[string]uint64, 0, len(stream))
 	for i, pkt := range stream {
-		want, err := interp.Process(pkt)
+		w, err := interp.Process(pkt)
 		if err != nil {
 			return nil, "", fmt.Errorf("interp packet %d: %w", i, err)
 		}
+		want = append(want, w)
 		got, err := planned.Process(pkt)
 		if err != nil {
 			return nil, "", fmt.Errorf("plan packet %d: %w", i, err)
 		}
-		if d := diffOutputs(i, want, got); d != nil {
+		if d := diffOutputs(i, w, got); d != nil {
+			d.engine = "plan"
 			return d, "", nil
 		}
 	}
-	ir, pr := interp.Snapshot(), planned.Snapshot()
-	if d := diffSnapshots(ir, pr); d != "" {
-		return nil, "register end-state: " + d, nil
+	var vdiv *divergence
+	err = vmpipe.Replay(stream, func(i int, v sim.View) error {
+		if d := diffOutputs(i, want[i], v.Map()); d != nil {
+			d.engine = "vm"
+			vdiv = d
+			return errEngineDiverged
+		}
+		return nil
+	})
+	if vdiv != nil {
+		return vdiv, "", nil
 	}
-	if d := diffStats(interp.Stats(), planned.Stats()); d != "" {
-		return nil, "stats: " + d, nil
+	if err != nil {
+		return nil, "", fmt.Errorf("vm replay: %w", err)
+	}
+	ir := interp.Snapshot()
+	for _, eng := range []struct {
+		name string
+		pipe *sim.Pipeline
+	}{{"plan", planned}, {"vm", vmpipe}} {
+		if d := diffSnapshots(ir, eng.pipe.Snapshot()); d != "" {
+			return nil, eng.name + " register end-state: " + d, nil
+		}
+		if d := diffStats(interp.Stats(), eng.pipe.Stats()); d != "" {
+			return nil, eng.name + " stats: " + d, nil
+		}
 	}
 	return nil, "", nil
 }
@@ -442,7 +485,7 @@ func diffStats(a, b sim.Stats) string {
 
 func checkEngines(rep *Report, cfg Config, spec AppSpec, res *core.Result, budget int, stream []sim.Packet) {
 	rep.Checks++
-	rep.Packets += 2 * len(stream)
+	rep.Packets += 3 * len(stream)
 	div, detail, err := replayEngines(spec, res, stream, cfg.Seed)
 	if err != nil {
 		rep.Failures = append(rep.Failures, Failure{

@@ -1,0 +1,545 @@
+// VM lowering: translates a pipeline's placed steps into the flat
+// vmInst stream executed by vm.go, preserving the interpreter's exact
+// charge, width, and wrapping semantics (see the contract in plan.go).
+//
+// The lowering is deliberately narrow: it targets only the statement
+// and guard motifs the elastic module library emits — constant seeds,
+// hash-index computations, register read-modify-writes and loads, slot
+// moves, two- and three-way folds, and LT/EQ guards. Anything else
+// (runtime divisors, header stores, if-statements inside action bodies,
+// non-constant elastic indexes, ...) rejects the whole program and the
+// pipeline keeps the reference interpreter. That narrowness is a
+// feature, not a shortcut: every opcode the lowering can emit is
+// exercised by the benchmark suite, so there are no dead execution
+// paths to rot (enforced by the opcode-coverage test).
+
+package sim
+
+import (
+	"fmt"
+
+	"p4all/internal/lang"
+)
+
+// lowerVM compiles every placed step to bytecode, then derives the
+// batch execution segments. Any unsupported construct aborts the whole
+// lowering; the caller keeps the interpreter.
+func lowerVM(p *Pipeline) (*vmProg, error) {
+	pr := &vmProg{p: p, fieldSlot: make(map[string]slotRef)}
+	lo := &vmLowerer{p: p, pr: pr, regIDs: make(map[string]int32)}
+	for _, st := range p.steps {
+		if err := lo.lowerStep(st); err != nil {
+			return nil, err
+		}
+	}
+	pr.nreg = len(lo.regIDs)
+	markUncond(pr)
+	pr.segs = segmentize(pr)
+	return pr, nil
+}
+
+// markUncond flags every instruction that no guard can skip. A lane
+// can only be "waiting" at pc (its per-lane program counter parked on a
+// forward jump target T > pc) when pc lies strictly inside some guard's
+// interval (guard pc, T) — so an instruction inside no such interval is
+// executed by every lane of every batch, and the vector executor can
+// drop the per-lane pc check/store and hoist its ALU charge (batch.go).
+// Intervals are computed over the whole program, not per segment: a
+// guard inside a serial segment can target past a later vector
+// segment's start, and those skipped instructions must stay
+// conditional. opRegBumpSlot is excluded defensively: hazard analysis
+// already keeps it out of vector segments, where the flag is read.
+func markUncond(pr *vmProg) {
+	cond := make([]bool, len(pr.code))
+	for i := range pr.code {
+		switch pr.code[i].op {
+		case opGuardLT, opGuardEQImm:
+			for p := i + 1; p < int(pr.code[i].target); p++ {
+				cond[p] = true
+			}
+		}
+	}
+	for i := range pr.code {
+		pr.code[i].uncond = !cond[i] && pr.code[i].op != opRegBumpSlot
+	}
+}
+
+type vmLowerer struct {
+	p      *Pipeline
+	pr     *vmProg
+	regIDs map[string]int32 // "name@inst" -> dense register-instance id
+}
+
+// slotFor interns a field key (same scheme as the plan compiler's).
+func (lo *vmLowerer) slotFor(key string, header bool) int32 {
+	if sr, ok := lo.pr.fieldSlot[key]; ok {
+		return int32(sr.slot)
+	}
+	slot := len(lo.pr.slotKeys)
+	lo.pr.fieldSlot[key] = slotRef{slot: slot, header: header}
+	lo.pr.slotKeys = append(lo.pr.slotKeys, key)
+	return int32(slot)
+}
+
+func (lo *vmLowerer) regIDFor(name string, inst int) int32 {
+	key := instKey(name, uint64(inst))
+	if id, ok := lo.regIDs[key]; ok {
+		return id
+	}
+	id := int32(len(lo.regIDs))
+	lo.regIDs[key] = id
+	return id
+}
+
+// vmStepCtx pins one action instance's iteration index and stage
+// counter while its guards and body lower.
+type vmStepCtx struct {
+	lo      *vmLowerer
+	action  *lang.Action
+	iter    int
+	loopVar string
+	ctr     int32 // ALU accumulator index: the stage, or the dummy
+}
+
+func (lo *vmLowerer) lowerStep(st step) error {
+	loopVar := ""
+	if l := st.inv.Loop(); l != nil {
+		loopVar = l.Var
+	}
+	ctr := int32(len(lo.p.stats.ALUOps)) // dummy accumulator
+	if st.stage >= 0 && st.stage < len(lo.p.stats.ALUOps) {
+		ctr = int32(st.stage)
+	}
+	ctx := &vmStepCtx{lo: lo, action: st.inv.Action, iter: st.iter, loopVar: loopVar, ctr: ctr}
+	var guardIdx []int
+	for _, g := range st.inv.Guards {
+		gi, err := ctx.lowerGuard(g)
+		if err != nil {
+			return err
+		}
+		guardIdx = append(guardIdx, gi)
+	}
+	if err := ctx.lowerBlock(st.inv.Action.Decl.Body); err != nil {
+		return err
+	}
+	// A failing guard skips the rest of the step: patch each guard's
+	// jump to the first instruction past the step (forward only).
+	end := int32(len(lo.pr.code))
+	for _, gi := range guardIdx {
+		lo.pr.code[gi].target = end
+	}
+	return nil
+}
+
+// emit appends an instruction, stamping the step's ALU counter, and
+// returns its index for jump patching.
+func (ctx *vmStepCtx) emit(in vmInst) int {
+	in.ctr = ctx.ctr
+	if in.store == nil {
+		in.regID = -1
+	}
+	ctx.lo.pr.code = append(ctx.lo.pr.code, in)
+	return len(ctx.lo.pr.code) - 1
+}
+
+// --- constant evaluation --------------------------------------------------
+
+// vmConst is a compile-time constant plus the ALU ops the interpreter
+// would charge evaluating the folded subtree; the charge is realized on
+// whichever instruction materializes the constant, keeping Stats
+// bit-identical (the same deferral the plan compiler's cexpr performs).
+type vmConst struct {
+	val   uint64
+	width int
+	cost  int
+}
+
+// constExpr evaluates a compile-time-constant expression: literals,
+// iteration/loop variables, symbolic parameters, named constants, and
+// arithmetic/comparisons over them. Anything else rejects the lowering.
+func (ctx *vmStepCtx) constExpr(e lang.Expr) (vmConst, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return vmConst{val: uint64(e.Value)}, nil
+	case *lang.BoolLit:
+		return vmConst{val: b2u(e.Value)}, nil
+	case *lang.Ref:
+		if !e.IsSimpleIdent() {
+			return vmConst{}, fmt.Errorf("vm: non-constant reference %s", lang.PrintExpr(e))
+		}
+		u := ctx.lo.p.unit
+		base := e.Base()
+		if ctx.action.Decl != nil && base == ctx.action.Decl.IndexParam {
+			return vmConst{val: uint64(ctx.iter)}, nil
+		}
+		if ctx.loopVar != "" && base == ctx.loopVar {
+			return vmConst{val: uint64(ctx.iter)}, nil
+		}
+		if sym := u.SymbolicByName(base); sym != nil {
+			return vmConst{val: uint64(ctx.lo.p.layout.Symbolics[sym.Name])}, nil
+		}
+		if v, ok := u.Consts[base]; ok {
+			return vmConst{val: uint64(v)}, nil
+		}
+		return vmConst{}, fmt.Errorf("vm: unknown name %s", base)
+	case *lang.Binary:
+		x, err := ctx.constExpr(e.X)
+		if err != nil {
+			return vmConst{}, err
+		}
+		y, err := ctx.constExpr(e.Y)
+		if err != nil {
+			return vmConst{}, err
+		}
+		v, err := binOp(e.Op, x.val, y.val)
+		if err != nil {
+			// Constant zero divisor: reject so the interpreter reports
+			// the error per packet, exactly as the plan compiler does.
+			return vmConst{}, fmt.Errorf("vm: constant fold: %w", err)
+		}
+		switch e.Op {
+		case lang.PLUS, lang.MINUS, lang.STAR, lang.SLASH, lang.PCT:
+			w := combineWidth(x.width, y.width)
+			return vmConst{val: v & widthMask(w), width: w, cost: x.cost + y.cost + 1}, nil
+		case lang.LT, lang.LE, lang.GT, lang.GE, lang.EQ, lang.NE:
+			return vmConst{val: v, cost: x.cost + y.cost + 1}, nil
+		}
+		return vmConst{}, fmt.Errorf("vm: non-constant operator %s", e.Op)
+	default:
+		return vmConst{}, fmt.Errorf("vm: non-constant expression %T", e)
+	}
+}
+
+// --- operand resolution ---------------------------------------------------
+
+// fieldRef resolves a struct-field reference to its interned slot. An
+// elastic field's instance index must be a zero-cost compile-time
+// constant (the module library always indexes by the iteration
+// parameter, which charges nothing).
+func (ctx *vmStepCtx) fieldRef(ref *lang.Ref) (slot int32, width int, header bool, err error) {
+	u := ctx.lo.p.unit
+	si := u.StructByName(ref.Base())
+	if si == nil || len(ref.Segs) != 2 {
+		return 0, 0, false, fmt.Errorf("vm: not a struct field: %s", lang.PrintExpr(ref))
+	}
+	f := si.Field(ref.Segs[1].Name)
+	if f == nil {
+		return 0, 0, false, fmt.Errorf("vm: unknown field %s", lang.PrintExpr(ref))
+	}
+	qual := f.Qual()
+	key := qual
+	if f.Count.IsSymbolic() || f.Count.Const > 1 {
+		fseg := ref.Segs[1]
+		if len(fseg.Indexes) != 1 {
+			return 0, 0, false, fmt.Errorf("vm: elastic field %s needs one index", qual)
+		}
+		ie, err := ctx.constExpr(fseg.Indexes[0])
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if ie.cost != 0 {
+			return 0, 0, false, fmt.Errorf("vm: elastic field %s index charges ALU ops", qual)
+		}
+		key = instKey(qual, ie.val)
+	}
+	return ctx.lo.slotFor(key, si.IsHeader), f.Width, si.IsHeader, nil
+}
+
+// metaOperand resolves a reference to a metadata slot (meta loads are
+// unmasked: slots only ever hold store-masked values).
+func (ctx *vmStepCtx) metaOperand(e lang.Expr) (slot int32, width int, err error) {
+	ref, ok := e.(*lang.Ref)
+	if !ok {
+		return 0, 0, fmt.Errorf("vm: operand %T is not a field", e)
+	}
+	if reg := ctx.lo.p.unit.RegisterByName(ref.Base()); reg != nil {
+		return 0, 0, fmt.Errorf("vm: register operand %s outside a load", lang.PrintExpr(ref))
+	}
+	slot, width, header, err := ctx.fieldRef(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	if header {
+		return 0, 0, fmt.Errorf("vm: header operand %s outside a hash", lang.PrintExpr(ref))
+	}
+	return slot, width, nil
+}
+
+// regAccess resolves a register reference to its backing store and the
+// meta slot holding the cell index. The instance index must be a
+// zero-cost constant; the cell index must itself be a metadata field
+// (the library's "@_meta.index[i]" motif). A non-materialized instance
+// or an empty store rejects the lowering — the interpreter's semantics
+// for those (charge-only no-ops) are not worth an opcode no suite app
+// reaches.
+func (ctx *vmStepCtx) regAccess(ref *lang.Ref, reg *lang.Register) (store []uint64, cellSlot int32, regID int32, err error) {
+	seg := ref.Segs[0]
+	var instE, cellE lang.Expr
+	switch {
+	case reg.Decl.Count != nil && len(seg.Indexes) == 2:
+		instE, cellE = seg.Indexes[0], seg.Indexes[1]
+	case len(seg.Indexes) == 1:
+		cellE = seg.Indexes[0]
+	default:
+		return nil, 0, 0, fmt.Errorf("vm: malformed register access %s", lang.PrintExpr(ref))
+	}
+	inst := 0
+	if instE != nil {
+		ic, err := ctx.constExpr(instE)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if ic.cost != 0 {
+			return nil, 0, 0, fmt.Errorf("vm: register %s instance index charges ALU ops", reg.Name)
+		}
+		inst = int(ic.val)
+	}
+	cellRef, ok := cellE.(*lang.Ref)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("vm: register %s cell index is not a field", reg.Name)
+	}
+	cellSlot, _, header, err := ctx.fieldRef(cellRef)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if header {
+		return nil, 0, 0, fmt.Errorf("vm: register %s cell index is a header field", reg.Name)
+	}
+	store, ok = ctx.lo.p.Register(reg.Name, inst)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("vm: register %s/%d not materialized", reg.Name, inst)
+	}
+	if len(store) == 0 {
+		return nil, 0, 0, fmt.Errorf("vm: register %s/%d has no cells", reg.Name, inst)
+	}
+	return store, cellSlot, ctx.lo.regIDFor(reg.Name, inst), nil
+}
+
+// --- statements -----------------------------------------------------------
+
+func (ctx *vmStepCtx) lowerBlock(b *lang.Block) error {
+	for _, s := range b.Stmts {
+		if err := ctx.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ctx *vmStepCtx) lowerStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		return ctx.lowerBlock(s)
+	case *lang.AssignStmt:
+		return ctx.lowerAssign(s)
+	default:
+		return fmt.Errorf("vm: unsupported statement %T in action %s", s, ctx.action.Name)
+	}
+}
+
+func (ctx *vmStepCtx) lowerAssign(s *lang.AssignStmt) error {
+	u := ctx.lo.p.unit
+	if reg := u.RegisterByName(s.LHS.Base()); reg != nil {
+		return ctx.lowerRegStore(s, reg)
+	}
+	dst, dw, header, err := ctx.fieldRef(s.LHS)
+	if err != nil {
+		return err
+	}
+	if header {
+		return fmt.Errorf("vm: header store %s", lang.PrintExpr(s.LHS))
+	}
+	dmask := widthMask(dw)
+
+	// Constant right-hand side: fold it, deferring its charge.
+	if c, err := ctx.constExpr(s.RHS); err == nil {
+		ctx.emit(vmInst{op: opConstSlot, dst: dst, imm: c.val & dmask, charge: uint32(c.cost)})
+		return nil
+	}
+
+	switch rhs := s.RHS.(type) {
+	case *lang.Ref:
+		if reg := u.RegisterByName(rhs.Base()); reg != nil {
+			store, cellSlot, regID, err := ctx.regAccess(rhs, reg)
+			if err != nil {
+				return err
+			}
+			ctx.emit(vmInst{
+				op: opRegLoadSlot, a: cellSlot, dst: dst, dmask: dmask,
+				store: store, ncells: uint64(len(store)), regID: regID,
+			})
+			return nil
+		}
+		src, _, err := ctx.metaOperand(rhs)
+		if err != nil {
+			return err
+		}
+		ctx.emit(vmInst{op: opMovSlot, a: src, dst: dst, dmask: dmask})
+		return nil
+	case *lang.Binary:
+		switch rhs.Op {
+		case lang.PCT:
+			return ctx.lowerHashMod(rhs, dst, dmask)
+		case lang.PLUS:
+			return ctx.lowerAdd(rhs, dst, dmask)
+		}
+	}
+	return fmt.Errorf("vm: unsupported assignment %s = %s",
+		lang.PrintExpr(s.LHS), lang.PrintExpr(s.RHS))
+}
+
+// lowerHashMod matches the index-computation motif
+// "hash(hdr, seed) % modulus" with a constant seed and modulus. The
+// charge replays the interpreter's exact sequence: the folded seed's
+// cost, one for the hash, the folded modulus's cost, one for the mod —
+// all within one instruction, which is observationally equivalent
+// because nothing can abort between them.
+func (ctx *vmStepCtx) lowerHashMod(b *lang.Binary, dst int32, dmask uint64) error {
+	call, ok := b.X.(*lang.CallExpr)
+	if !ok || call.Name != "hash" || len(call.Args) != 2 {
+		return fmt.Errorf("vm: unsupported modulo %s", lang.PrintExpr(b))
+	}
+	href, ok := call.Args[0].(*lang.Ref)
+	if !ok {
+		return fmt.Errorf("vm: hash key %T is not a field", call.Args[0])
+	}
+	slot, hw, header, err := ctx.fieldRef(href)
+	if err != nil {
+		return err
+	}
+	if !header {
+		return fmt.Errorf("vm: hash key %s is not a header field", lang.PrintExpr(href))
+	}
+	seed, err := ctx.constExpr(call.Args[1])
+	if err != nil {
+		return err
+	}
+	div, err := ctx.constExpr(b.Y)
+	if err != nil {
+		return err
+	}
+	if div.val == 0 {
+		return fmt.Errorf("vm: constant zero divisor")
+	}
+	// hash yields width 64, so the modulo result's combined-width wrap
+	// is the identity; only the header load mask and the destination
+	// mask survive to runtime.
+	ctx.emit(vmInst{
+		op: opHashModSlot, a: slot, dst: dst,
+		mask: widthMask(hw), imm: seed.val, imm2: div.val, dmask: dmask,
+		charge: uint32(seed.cost + 1 + div.cost + 1),
+	})
+	return nil
+}
+
+// lowerAdd matches the fold motifs: meta+meta, and the left-nested
+// three-way meta+meta+meta.
+func (ctx *vmStepCtx) lowerAdd(b *lang.Binary, dst int32, dmask uint64) error {
+	if inner, ok := b.X.(*lang.Binary); ok && inner.Op == lang.PLUS {
+		a, wa, err := ctx.metaOperand(inner.X)
+		if err != nil {
+			return err
+		}
+		b2, wb, err := ctx.metaOperand(inner.Y)
+		if err != nil {
+			return err
+		}
+		c, wc, err := ctx.metaOperand(b.Y)
+		if err != nil {
+			return err
+		}
+		innerW := combineWidth(wa, wb)
+		outerW := combineWidth(innerW, wc)
+		ctx.emit(vmInst{
+			op: opAdd3Slot, a: a, b: b2, c: c, dst: dst,
+			mask: widthMask(innerW), mask2: widthMask(outerW) & dmask,
+			charge: 2,
+		})
+		return nil
+	}
+	a, wa, err := ctx.metaOperand(b.X)
+	if err != nil {
+		return err
+	}
+	b2, wb, err := ctx.metaOperand(b.Y)
+	if err != nil {
+		return err
+	}
+	ctx.emit(vmInst{
+		op: opAdd2Slot, a: a, b: b2, dst: dst,
+		mask:   widthMask(combineWidth(wa, wb)) & dmask,
+		charge: 1,
+	})
+	return nil
+}
+
+// lowerRegStore matches the read-modify-write motif
+// "reg[i][cell] = reg[i][cell] + addend" (same cell on both sides,
+// compared syntactically) with a constant zero-cost addend.
+func (ctx *vmStepCtx) lowerRegStore(s *lang.AssignStmt, reg *lang.Register) error {
+	rb, ok := s.RHS.(*lang.Binary)
+	if !ok || rb.Op != lang.PLUS {
+		return fmt.Errorf("vm: unsupported register store %s", lang.PrintExpr(s.LHS))
+	}
+	xref, ok := rb.X.(*lang.Ref)
+	if !ok || lang.PrintExpr(xref) != lang.PrintExpr(s.LHS) {
+		return fmt.Errorf("vm: register store %s is not a read-modify-write", lang.PrintExpr(s.LHS))
+	}
+	add, err := ctx.constExpr(rb.Y)
+	if err != nil {
+		return err
+	}
+	if add.cost != 0 {
+		return fmt.Errorf("vm: register addend charges ALU ops")
+	}
+	store, cellSlot, regID, err := ctx.regAccess(s.LHS, reg)
+	if err != nil {
+		return err
+	}
+	// The add wraps at the combined operand width; the store masks at
+	// the register width. The addend is width-0 (a constant), so the
+	// two masks compose into one.
+	mask := widthMask(combineWidth(reg.Width, add.width)) & widthMask(reg.Width)
+	ctx.emit(vmInst{
+		op: opRegBumpSlot, a: cellSlot, imm: add.val, mask: mask,
+		store: store, ncells: uint64(len(store)), regID: regID,
+		charge: 1,
+	})
+	return nil
+}
+
+// --- guards ---------------------------------------------------------------
+
+// lowerGuard emits a conditional forward jump for a step guard. The
+// comparison's ALU op is charged whether or not the guard passes (the
+// interpreter charges after operand evaluation, before acting on the
+// result); the jump target is patched to the step end by lowerStep.
+func (ctx *vmStepCtx) lowerGuard(g lang.Expr) (int, error) {
+	b, ok := g.(*lang.Binary)
+	if !ok {
+		return 0, fmt.Errorf("vm: unsupported guard %s", lang.PrintExpr(g))
+	}
+	switch b.Op {
+	case lang.LT:
+		a, _, err := ctx.metaOperand(b.X)
+		if err != nil {
+			return 0, err
+		}
+		b2, _, err := ctx.metaOperand(b.Y)
+		if err != nil {
+			return 0, err
+		}
+		return ctx.emit(vmInst{op: opGuardLT, a: a, b: b2, charge: 1}), nil
+	case lang.EQ:
+		a, _, err := ctx.metaOperand(b.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := ctx.constExpr(b.Y)
+		if err != nil {
+			return 0, err
+		}
+		return ctx.emit(vmInst{op: opGuardEQImm, a: a, imm: y.val, charge: uint32(1 + y.cost)}), nil
+	}
+	return 0, fmt.Errorf("vm: unsupported guard operator %s", b.Op)
+}

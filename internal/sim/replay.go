@@ -1,4 +1,5 @@
-// Engine selection and the batched replay API over the compiled plan.
+// Engine selection and the batched replay API over the compiled
+// engines (closure plan and bytecode VM).
 
 package sim
 
@@ -13,15 +14,23 @@ type Engine uint8
 const (
 	// EnginePlan (the default) compiles the layout into a flat closure
 	// plan at construction time; programs the plan compiler cannot
-	// lower fall back to the interpreter (see Pipeline.PlanFallback).
+	// lower fall back to the interpreter (see Pipeline.Fallback).
 	EnginePlan Engine = iota
 	// EngineInterp forces the reference AST interpreter.
 	EngineInterp
+	// EngineVM lowers the layout to a bytecode program executed by a
+	// switch-dispatch VM, with struct-of-arrays batched replay (see
+	// vm.go); programs the lowering cannot compile fall back to the
+	// interpreter.
+	EngineVM
 )
 
 func (e Engine) String() string {
-	if e == EngineInterp {
+	switch e {
+	case EngineInterp:
 		return "interp"
+	case EngineVM:
+		return "vm"
 	}
 	return "plan"
 }
@@ -33,38 +42,69 @@ func ParseEngine(s string) (Engine, error) {
 		return EnginePlan, nil
 	case "interp":
 		return EngineInterp, nil
+	case "vm":
+		return EngineVM, nil
 	}
-	return 0, fmt.Errorf("sim: unknown engine %q (want plan or interp)", s)
+	return 0, fmt.Errorf("sim: unknown engine %q (want plan, interp, or vm)", s)
 }
 
 // EngineName reports which engine actually executes this pipeline:
-// "plan" or "interp" (requested, or fallen back to).
+// "plan", "vm", or "interp" (requested, or fallen back to).
 func (p *Pipeline) EngineName() string {
+	if p.vm != nil {
+		return "vm"
+	}
 	if p.plan != nil {
 		return "plan"
 	}
 	return "interp"
 }
 
-// PlanFallback returns why the plan compiler fell back to the
-// interpreter; nil when the plan is active or the interpreter was
-// requested explicitly.
-func (p *Pipeline) PlanFallback() error { return p.planErr }
+// Fallback returns why a compiled engine (plan or VM) fell back to the
+// interpreter; nil when the requested engine is active or the
+// interpreter was requested explicitly.
+func (p *Pipeline) Fallback() error {
+	if p.planErr != nil {
+		return p.planErr
+	}
+	return p.vmErr
+}
+
+// PlanFallback is kept for callers that predate the VM engine; it
+// reports any compiled engine's fallback reason, as Fallback does.
+func (p *Pipeline) PlanFallback() error { return p.Fallback() }
 
 // View is a read-only view of one processed packet's output fields.
 // Inside a Replay sink on the plan engine it reads straight from the
 // reused slot frame — no allocation — and is only valid until the sink
-// returns; do not retain it.
+// returns; do not retain it. On the VM engine it reads one lane of the
+// reused batch frame, with the same lifetime rule.
 type View struct {
-	pl *plan
-	fr *frame
-	m  map[string]uint64
+	pl   *plan
+	fr   *frame
+	vm   *vmProg
+	vf   *vmFrame
+	lane int
+	m    map[string]uint64
 }
 
 // Get reads one flattened output field ("query.key", "cms_meta.min",
 // "meta.count@2" — see Key). It reports false for fields the packet
 // left unset, which Process would omit from its map.
 func (v View) Get(name string) (uint64, bool) {
+	if v.vm != nil {
+		if sr, ok := v.vm.fieldSlot[name]; ok {
+			if i := sr.slot*vmLanes + v.lane; v.vf.stamp[i] == v.vf.gen {
+				return v.vf.vals[i], true
+			}
+		}
+		for i, k := range v.vf.extraK[v.lane] {
+			if k == name {
+				return v.vf.extraV[v.lane][i], true
+			}
+		}
+		return 0, false
+	}
 	if v.pl == nil {
 		val, ok := v.m[name]
 		return val, ok
@@ -83,6 +123,9 @@ func (v View) Get(name string) (uint64, bool) {
 // Map materializes the view as the map Process would have returned
 // (allocates; hot loops should use Get with precomputed keys).
 func (v View) Map() map[string]uint64 {
+	if v.vm != nil {
+		return v.vm.output(v.vf, v.lane)
+	}
 	if v.pl == nil {
 		return v.m
 	}
@@ -90,12 +133,36 @@ func (v View) Map() map[string]uint64 {
 }
 
 // Replay pushes pkts through the pipeline in order, handing each
-// packet's outputs to sink (nil to discard). On the plan engine the
-// frame and View are reused across packets, so a steady-state replay
-// performs zero allocations. A processing error aborts the replay with
-// the packet index attached; an error from sink aborts it and is
-// returned unwrapped.
+// packet's outputs to sink (nil to discard). On the compiled engines
+// the frame and View are reused across packets, so a steady-state
+// replay performs zero allocations. The VM engine additionally runs
+// packets in struct-of-arrays batches of up to vmLanes: sinks still
+// fire per packet, in order, after the packet's batch executes — a
+// sink reading register state through the pipeline observes it as of
+// the end of that batch. A processing error aborts the replay with the
+// packet index attached; an error from sink aborts it and is returned
+// unwrapped.
 func (p *Pipeline) Replay(pkts []Packet, sink func(i int, v View) error) error {
+	if p.vm != nil {
+		v := View{vm: p.vm, vf: &p.vmf}
+		for off := 0; off < len(pkts); off += vmLanes {
+			end := off + vmLanes
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			p.vm.runBatch(&p.vmf, pkts[off:end])
+			if sink == nil {
+				continue
+			}
+			for l := 0; l < end-off; l++ {
+				v.lane = l
+				if err := sink(off+l, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	if p.plan != nil {
 		v := View{pl: p.plan, fr: &p.fr}
 		for i := range pkts {

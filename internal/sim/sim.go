@@ -72,6 +72,12 @@ type Pipeline struct {
 	plan    *plan
 	planErr error
 	fr      frame
+	// vm is the lowered bytecode program (EngineVM; nil when lowering
+	// fell back, vmErr records why). vmf is its reusable
+	// struct-of-arrays batch frame.
+	vm    *vmProg
+	vmErr error
+	vmf   vmFrame
 }
 
 type step struct {
@@ -87,10 +93,11 @@ func New(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
 }
 
 // NewEngine builds a pipeline executed by the given engine. EnginePlan
-// lowers the program to a compiled plan (falling back to the
-// interpreter for programs it cannot lower); EngineInterp forces the
-// reference interpreter — difftest's engine oracle holds the two to
-// bit-identical observable behavior.
+// lowers the program to a compiled closure plan and EngineVM to a flat
+// bytecode program with batched replay (either falls back to the
+// interpreter for programs it cannot lower — see Pipeline.Fallback);
+// EngineInterp forces the reference interpreter. difftest's engine
+// oracle holds all three to bit-identical observable behavior.
 func NewEngine(u *lang.Unit, layout *ilpgen.Layout, eng Engine) (*Pipeline, error) {
 	p := &Pipeline{
 		unit:   u,
@@ -140,7 +147,8 @@ func NewEngine(u *lang.Unit, layout *ilpgen.Layout, eng Engine) (*Pipeline, erro
 		}
 		return p.steps[i].iter < p.steps[j].iter
 	})
-	if eng == EnginePlan {
+	switch eng {
+	case EnginePlan:
 		pl, err := compilePlan(p)
 		if err != nil {
 			p.planErr = err
@@ -151,8 +159,23 @@ func NewEngine(u *lang.Unit, layout *ilpgen.Layout, eng Engine) (*Pipeline, erro
 				stamp: make([]uint64, len(pl.slotKeys)),
 			}
 		}
+	case EngineVM:
+		vm, err := lowerVM(p)
+		if err != nil {
+			p.vmErr = err
+		} else {
+			p.vm = vm
+			p.vmf = newVMFrame(len(vm.slotKeys), len(p.stats.ALUOps))
+		}
 	}
 	return p, nil
+}
+
+// NewVMPipeline builds a pipeline executed by the bytecode VM — sugar
+// for NewEngine(u, layout, EngineVM). Programs the VM lowering cannot
+// compile fall back to the interpreter (see Pipeline.Fallback).
+func NewVMPipeline(u *lang.Unit, layout *ilpgen.Layout) (*Pipeline, error) {
+	return NewEngine(u, layout, EngineVM)
 }
 
 // Layout returns the solved layout this pipeline executes.
@@ -265,6 +288,10 @@ func hashUint(key uint64, row uint64) uint64 {
 // header-field writes are visible only in the returned map, so the
 // same Packet value can be replayed any number of times.
 func (p *Pipeline) Process(pkt Packet) (map[string]uint64, error) {
+	if p.vm != nil {
+		p.vm.run1(&p.vmf, pkt)
+		return p.vm.output(&p.vmf, 0), nil
+	}
 	if p.plan != nil {
 		if err := p.plan.run(&p.fr, pkt); err != nil {
 			return nil, err

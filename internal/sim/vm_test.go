@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"p4all/internal/apps"
+	"p4all/internal/core"
+	"p4all/internal/ilp"
+	"p4all/internal/pisa"
+	"p4all/internal/workload"
+)
+
+// vmSuite compiles the four benchmark apps once per test binary; each
+// test builds fresh pipelines from the cached unit/layout.
+type vmSuiteApp struct {
+	name   string
+	res    *core.Result
+	fields []string // packet fields, key first
+}
+
+var (
+	vmSuiteOnce sync.Once
+	vmSuiteApps []vmSuiteApp
+	vmSuiteErr  error
+)
+
+func vmSuite(t *testing.T) []vmSuiteApp {
+	t.Helper()
+	vmSuiteOnce.Do(func() {
+		fields := map[string][]string{
+			"NetCache":    {"query.key", "query.op", "ipv4.dst"},
+			"SketchLearn": {"pkt.flow", "pkt.len"},
+			"Precision":   {"pkt.flow", "pkt.len"},
+			"ConQuest":    {"pkt.flow", "pkt.qdepth"},
+		}
+		for _, app := range apps.All() {
+			res, err := core.Compile(app.Source, pisa.EvalTarget(pisa.Mb), core.Options{
+				Solver:      ilp.Options{Deterministic: true, Gap: 0.1},
+				SkipCodegen: true,
+			})
+			if err != nil {
+				vmSuiteErr = err
+				return
+			}
+			vmSuiteApps = append(vmSuiteApps, vmSuiteApp{name: app.Name, res: res, fields: fields[app.Name]})
+		}
+	})
+	if vmSuiteErr != nil {
+		t.Fatalf("compile suite: %v", vmSuiteErr)
+	}
+	return vmSuiteApps
+}
+
+// vmStream builds a deterministic packet stream: zipf-distributed keys
+// (so take-min guards go both ways) plus hash-derived secondary fields.
+func vmStream(app vmSuiteApp, seed int64, n int) []Packet {
+	keys := workload.ZipfKeys(seed, 200, 1.05, n)
+	pkts := make([]Packet, n)
+	for i, k := range keys {
+		p := Packet{app.fields[0]: k}
+		for j, f := range app.fields[1:] {
+			p[f] = hashUint(uint64(i), uint64(j)) & 0xFFFF
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// seedVMRegisters fills every materialized register instance with
+// deterministic nonzero state (both pipelines identically), so
+// read-only register loads — the key-value store, the hash-table key
+// array — return real data instead of zeros.
+func seedVMRegisters(p *Pipeline) {
+	for name, insts := range p.regs {
+		for i, cells := range insts {
+			for c := range cells {
+				cells[c] = hashUint(uint64(c), uint64(i)) & 0xFFFF
+				_ = name
+			}
+		}
+	}
+}
+
+func newVMPair(t *testing.T, app vmSuiteApp) (vm, interp *Pipeline) {
+	t.Helper()
+	vm, err := NewVMPipeline(app.res.Unit, app.res.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.EngineName() != "vm" {
+		t.Fatalf("%s: VM lowering fell back: %v", app.name, vm.Fallback())
+	}
+	interp, err = NewEngine(app.res.Unit, app.res.Layout, EngineInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVMRegisters(vm)
+	seedVMRegisters(interp)
+	return vm, interp
+}
+
+// TestVMMatchesInterpreterOnApps is the scalar half of the acceptance
+// bar: Process through the VM must be bit-identical to the reference
+// interpreter — outputs, Stats, and register state — on all four apps.
+func TestVMMatchesInterpreterOnApps(t *testing.T) {
+	for _, app := range vmSuite(t) {
+		t.Run(app.name, func(t *testing.T) {
+			vm, interp := newVMPair(t, app)
+			pkts := vmStream(app, 3, 1500)
+			for i, pkt := range pkts {
+				a, err := vm.Process(pkt)
+				if err != nil {
+					t.Fatalf("vm packet %d: %v", i, err)
+				}
+				b, err := interp.Process(pkt)
+				if err != nil {
+					t.Fatalf("interp packet %d: %v", i, err)
+				}
+				assertSameOutputs(t, i, a, b)
+			}
+			assertSameCounters(t, vm, interp)
+		})
+	}
+}
+
+func assertSameCounters(t *testing.T, a, b *Pipeline) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Packets != sb.Packets || sa.RegReads != sb.RegReads || sa.RegWrites != sb.RegWrites {
+		t.Fatalf("counter mismatch: %+v vs %+v", sa, sb)
+	}
+	for i := range sa.ALUOps {
+		if sa.ALUOps[i] != sb.ALUOps[i] {
+			t.Fatalf("stage %d ALU ops: %d vs %d", i, sa.ALUOps[i], sb.ALUOps[i])
+		}
+	}
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	for name, insts := range snapA.Regs {
+		for i := range insts {
+			for c := range insts[i] {
+				if insts[i][c] != snapB.Regs[name][i][c] {
+					t.Fatalf("register %s/%d cell %d: %d vs %d",
+						name, i, c, insts[i][c], snapB.Regs[name][i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestVMBatchMatchesProcess drives the struct-of-arrays batch path
+// (Replay) against a fresh interpreter processing the same stream one
+// packet at a time. Batch boundaries fall mid-stream (n is not a
+// multiple of vmLanes), so partial tail batches are covered too.
+func TestVMBatchMatchesProcess(t *testing.T) {
+	for _, app := range vmSuite(t) {
+		t.Run(app.name, func(t *testing.T) {
+			vm, interp := newVMPair(t, app)
+			pkts := vmStream(app, 7, 5*vmLanes+17)
+			err := vm.Replay(pkts, func(i int, v View) error {
+				want, err := interp.Process(pkts[i])
+				if err != nil {
+					return err
+				}
+				assertSameOutputs(t, i, v.Map(), want)
+				keyField := app.fields[0]
+				got, ok := v.Get(keyField)
+				if !ok || got != want[keyField] {
+					t.Fatalf("packet %d: View.Get(%s) = %d,%v want %d", i, keyField, got, ok, want[keyField])
+				}
+				if _, ok := v.Get("no.such.field"); ok {
+					t.Fatalf("packet %d: view invented a field", i)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameCounters(t, vm, interp)
+		})
+	}
+}
+
+// TestVMSnapshotRestore checks Snapshot/Restore round-trips through a
+// VM pipeline mid-replay — the elastic controller's swap protocol path.
+func TestVMSnapshotRestore(t *testing.T) {
+	app := vmSuite(t)[0]
+	vm, interp := newVMPair(t, app)
+	pkts := vmStream(app, 11, 3*vmLanes)
+	if err := vm.Replay(pkts[:vmLanes], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Replay(pkts[:vmLanes], nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := vm.Snapshot()
+	if err := vm.Replay(pkts[vmLanes:], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// After restore, the VM pipeline must agree with the interpreter
+	// that only saw the first batch.
+	assertSameSnapshots(t, vm, interp)
+	// And processing resumes correctly on the restored state.
+	if err := vm.Replay(pkts[vmLanes:], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Replay(pkts[vmLanes:], nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameSnapshots(t, vm, interp)
+}
+
+func assertSameSnapshots(t *testing.T, a, b *Pipeline) {
+	t.Helper()
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	for name, insts := range snapA.Regs {
+		for i := range insts {
+			for c := range insts[i] {
+				if insts[i][c] != snapB.Regs[name][i][c] {
+					t.Fatalf("register %s/%d cell %d: %d vs %d",
+						name, i, c, insts[i][c], snapB.Regs[name][i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestVMReplayZeroAllocs is the acceptance criterion's steady-state
+// check on the batched VM loop, per app.
+func TestVMReplayZeroAllocs(t *testing.T) {
+	for _, app := range vmSuite(t) {
+		t.Run(app.name, func(t *testing.T) {
+			vm, _ := newVMPair(t, app)
+			pkts := vmStream(app, 2, 4*vmLanes)
+			keyField := app.fields[0]
+			var sum uint64
+			sink := func(i int, v View) error {
+				val, _ := v.Get(keyField)
+				sum += val
+				return nil
+			}
+			// Warm up so lazily-grown extra-key slices settle.
+			if err := vm.Replay(pkts, sink); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := vm.Replay(pkts, sink); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("VM replay allocated %.1f objects per run, want 0", allocs)
+			}
+			_ = sum
+		})
+	}
+}
+
+// TestVMOpcodeCoverage asserts every opcode the lowering can emit is
+// exercised by at least one of the four suite apps. An unreached
+// opcode is a dead lowering path: either the lowering grew a motif the
+// library no longer emits, or the suite shrank — both are bugs here.
+func TestVMOpcodeCoverage(t *testing.T) {
+	emittedBy := make(map[vmOp][]string)
+	for _, app := range vmSuite(t) {
+		vm, err := NewVMPipeline(app.res.Unit, app.res.Layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm.vm == nil {
+			t.Fatalf("%s: VM lowering fell back: %v", app.name, vm.Fallback())
+		}
+		seen := make(map[vmOp]bool)
+		for _, in := range vm.vm.code {
+			if !seen[in.op] {
+				seen[in.op] = true
+				emittedBy[in.op] = append(emittedBy[in.op], app.name)
+			}
+		}
+	}
+	for op := vmOp(0); op < vmOpCount; op++ {
+		if len(emittedBy[op]) == 0 {
+			t.Errorf("opcode %s is emitted by no suite app — dead lowering path", op)
+		} else {
+			t.Logf("opcode %-12s exercised by %v", op, emittedBy[op])
+		}
+	}
+}
+
+// TestVMBatchSegments sanity-checks the hazard analysis on a real app:
+// segments must partition the instruction stream, and every register
+// write must land in a serial segment.
+func TestVMBatchSegments(t *testing.T) {
+	for _, app := range vmSuite(t) {
+		vm, err := NewVMPipeline(app.res.Unit, app.res.Layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := vm.vm
+		if prog == nil {
+			t.Fatalf("%s: fell back: %v", app.name, vm.Fallback())
+		}
+		pos := int32(0)
+		serialAt := make(map[int32]bool)
+		for _, sg := range prog.segs {
+			if sg.start != pos || sg.end <= sg.start {
+				t.Fatalf("%s: segment [%d,%d) does not continue at %d", app.name, sg.start, sg.end, pos)
+			}
+			for pc := sg.start; pc < sg.end; pc++ {
+				serialAt[pc] = sg.serial
+			}
+			pos = sg.end
+		}
+		if pos != int32(len(prog.code)) {
+			t.Fatalf("%s: segments end at %d, code has %d instructions", app.name, pos, len(prog.code))
+		}
+		for pc, in := range prog.code {
+			if in.op == opRegBumpSlot && !serialAt[int32(pc)] {
+				t.Fatalf("%s: register write at pc %d is in a vector segment", app.name, pc)
+			}
+		}
+	}
+}
+
+// TestVMFallback: a program outside the lowering's motif set must fall
+// back to the interpreter and still execute correctly.
+func TestVMFallback(t *testing.T) {
+	src := `
+header hdr { bit<32> a; bit<32> b; }
+struct meta { bit<32> q; }
+action div() { meta.q = hdr.a / hdr.b; }
+control main { apply { div(); } }
+`
+	res, err := core.Compile(src, pisa.RunningExampleTarget(), core.Options{SkipCodegen: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vm, err := NewVMPipeline(res.Unit, res.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.EngineName() != "interp" {
+		t.Fatalf("engine = %s, want interp fallback", vm.EngineName())
+	}
+	if vm.Fallback() == nil {
+		t.Fatal("Fallback() = nil after VM lowering rejection")
+	}
+	out, err := vm.Process(Packet{"hdr.a": 10, "hdr.b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["meta.q"] != 5 {
+		t.Fatalf("meta.q = %d, want 5", out["meta.q"])
+	}
+	// The interpreter's runtime error behavior is preserved.
+	if _, err := vm.Process(Packet{"hdr.a": 10, "hdr.b": 0}); err == nil {
+		t.Fatal("division by zero did not error through the fallback")
+	}
+}
+
+// TestParseEngineVM pins the vm spelling alongside the existing two.
+func TestParseEngineVM(t *testing.T) {
+	if e, err := ParseEngine("vm"); err != nil || e != EngineVM {
+		t.Fatalf("ParseEngine(vm) = %v, %v", e, err)
+	}
+	if EngineVM.String() != "vm" {
+		t.Fatalf("EngineVM.String() = %q", EngineVM.String())
+	}
+}

@@ -109,16 +109,19 @@ func NewPipeline(res *Result) (*Pipeline, error) {
 // PipelineEngine selects a pipeline's execution strategy: EnginePlan
 // compiles the layout into a flat zero-allocation closure plan (the
 // default; falls back to the interpreter for programs it cannot
-// lower), EngineInterp forces the reference AST interpreter. See
-// docs/SIM_PERF.md.
+// lower), EngineVM lowers it further to a bytecode VM whose Replay
+// batches packets struct-of-arrays style (the fastest engine; same
+// fallback rule), EngineInterp forces the reference AST interpreter.
+// See docs/SIM_PERF.md.
 type PipelineEngine = sim.Engine
 
 const (
 	EnginePlan   = sim.EnginePlan
 	EngineInterp = sim.EngineInterp
+	EngineVM     = sim.EngineVM
 )
 
-// ParsePipelineEngine maps "plan"/"interp" to its engine value.
+// ParsePipelineEngine maps "plan"/"interp"/"vm" to its engine value.
 func ParsePipelineEngine(s string) (PipelineEngine, error) { return sim.ParseEngine(s) }
 
 // NewPipelineEngine builds an executable pipeline on a specific engine
