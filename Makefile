@@ -11,15 +11,18 @@ GO        ?= go
 # additionally held to >=1.5x the plan's speed within the same run),
 # the sharded serving runtime (gated on allocs/op — its hot loop is
 # pinned at zero), the translation validator (gated on ns/op — a
-# path-count blowup shows up here), plus the Figure 9 and drift
-# end-to-end benchmarks (reported, never gated — see cmd/benchgate).
-BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|SimReplayVM|ServeScaling|Certify
+# path-count blowup shows up here), the multi-tenant warm re-solve
+# (nudge variant gated on ns/op — the sub-second elastic-reallocation
+# claim; the flip variant is reported only), plus the Figure 9 and
+# drift end-to-end benchmarks (reported, never gated — see
+# cmd/benchgate).
+BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|SimReplayVM|ServeScaling|Certify|MultiTenantResolve
 BENCHTIME ?= 3x
 COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
 .PHONY: build test race lint check bench bench-baseline bench-gate \
-	difftest difftest-vm fuzz-smoke serve-smoke certify
+	difftest difftest-vm fuzz-smoke serve-smoke certify multitenant
 
 # Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md). Four
 # targets at 22s each keep the job's total fuzz budget where it was
@@ -105,6 +108,23 @@ certify:
 	for ex in quickstart portability netcache sketchlearn; do \
 		$(GO) run ./examples/$$ex > /dev/null || exit 1; \
 	done
+
+# multitenant is the PR-acceptance scenario for the joint compiler: a
+# three-tenant mix (NetCache + SketchLearn + FlowRadar) compiled into
+# one pipeline with fairness weights and utility floors, certified by
+# the translation validator per tenant, plus the multi-tenant package
+# tests and the per-tenant differential-testing oracle (see
+# docs/MULTITENANT.md). Solver limits stay at the compiler's defaults:
+# the 10-stage evaluation target under floors needs the full budget to
+# find its first incumbent.
+MTDIR ?= mtcerts
+multitenant:
+	mkdir -p $(MTDIR)
+	$(GO) run ./cmd/p4allc -app netcache,sketchlearn,flowradar \
+		-mem 524288 -weights 1,1,2 -minutil 1024 -det \
+		-certify -cert $(MTDIR)/joint.json -o /dev/null
+	$(GO) test ./internal/multitenant/
+	$(GO) test ./internal/difftest/ -run TestTenantOracle
 
 # fuzz-smoke gives each coverage-guided target a short budget on top of
 # the checked-in corpora. Crashers land in

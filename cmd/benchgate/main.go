@@ -255,7 +255,7 @@ func main() {
 	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
-	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkCertify`, "regexp selecting the benchmarks that can fail the ns/op gate")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkCertify|^BenchmarkMultiTenantResolve/nudge`, "regexp selecting the benchmarks that can fail the ns/op gate")
 	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
 	vmRatio := flag.Float64("vmratio", 1.5, "fail when BenchmarkSimReplayVM/<app> is below this multiple of the same run's plan-engine speed (0 disables)")
 	flag.Parse()

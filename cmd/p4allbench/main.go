@@ -7,6 +7,7 @@
 //	p4allbench -fig 11   application benchmark table
 //	p4allbench -fig 12   memory-elasticity sweep
 //	p4allbench -fig 13   utility-function comparison
+//	p4allbench -fig fairness  multi-tenant fairness sweep
 //	p4allbench -fig all  everything above
 //
 // The serving-scalability figure is explicit-only (it measures
@@ -22,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"p4all/internal/eval"
 	"p4all/internal/obs"
@@ -33,7 +35,7 @@ import (
 var tracer *obs.Tracer
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, scaling, or all (scaling only when named)")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 7, 9, 11, 12, 13, fairness, scaling, or all (scaling only when named)")
 	mem := flag.Int("mem", 7*pisa.Mb/4, "per-stage memory bits for single-target figures")
 	threads := flag.Int("threads", 0, "branch-and-bound workers per solve (0: all cores)")
 	det := flag.Bool("det", true, "deterministic solver mode — figures are bit-stable across runs and -threads values")
@@ -69,6 +71,7 @@ func main() {
 	run("11", func() error { return fig11(*mem) })
 	run("12", fig12)
 	run("13", func() error { return fig13(*mem) })
+	run("fairness", figFairness)
 	if *fig == "scaling" {
 		run("scaling", figScaling)
 	}
@@ -177,6 +180,28 @@ func fig13(mem int) error {
 	for _, r := range rows {
 		fmt.Printf("%-58s %10d %10d %6.2f\n", r.Utility, r.CMSCells, r.KVItems, 100*r.Gap)
 	}
+	return nil
+}
+
+func figFairness() error {
+	res, err := eval.FigureFairnessTraced(eval.FairnessConfig{}, tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("two tenants (%s fixed at weight 1, %s swept) jointly compiled on %s,\n"+
+		"utility floors %g cells each:\n\n", res.Fixed, res.Favored, res.Target.String(),
+		res.MinUtility)
+	fmt.Printf("%8s %12s %12s %12s %6s %6s\n",
+		"weight", res.Fixed, res.Favored, "resolve", "warm", "gap%")
+	for _, p := range res.Points {
+		warm := "cold"
+		if p.WarmStarted {
+			warm = "warm"
+		}
+		fmt.Printf("%8.2f %12.0f %12.0f %12s %6s %6.2f\n",
+			p.Weight, p.FixedUtility, p.FavoredUtility, p.SolveTime.Round(time.Millisecond), warm, 100*p.Gap)
+	}
+	fmt.Println("\nallocation follows weight; the floors keep the squeezed tenant alive")
 	return nil
 }
 

@@ -8,18 +8,31 @@
 //	p4allc -target eval -mem 1835008 -layout prog.p4all
 //	p4allc -target spec.json -o prog.p4 prog.p4all
 //	p4allc -app netcache -trace trace.jsonl -summary
+//
+// Multiple sources — several positional files, or a comma-separated
+// -app list — switch the compiler into multi-tenant mode: the programs
+// are compiled jointly into one pipeline (internal/multitenant), traded
+// against each other by -weights under optional -minutil floors, with
+// per-tenant P4 emitted separately:
+//
+//	p4allc -weights 1,2 -minutil 2048 a.p4all b.p4all
+//	p4allc -app netcache,sketchlearn -maxmin -certify -layout
+//	p4allc -app netcache,sketchlearn -o out.p4   # out.netcache.p4, ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"p4all/internal/apps"
 	"p4all/internal/core"
 	"p4all/internal/ilp"
+	"p4all/internal/multitenant"
 	"p4all/internal/obs"
 	"p4all/internal/pisa"
 )
@@ -36,12 +49,15 @@ func main() {
 		timeFlag    = flag.Duration("timeout", 0, "solver time limit (default 90s)")
 		threadsFlag = flag.Int("threads", 0, "branch-and-bound workers (0: all cores)")
 		detFlag     = flag.Bool("det", false, "deterministic parallel search (reproducible layouts at some speed cost)")
-		appFlag     = flag.String("app", "", "compile a built-in benchmark app (netcache, sketchlearn, precision, conquest) instead of a source file")
+		appFlag     = flag.String("app", "", "compile built-in benchmark apps (netcache, sketchlearn, precision, conquest, flowradar) instead of source files; a comma-separated list compiles jointly")
 		traceFlag   = flag.String("trace", "", "write a JSONL pipeline trace to this file (see docs/OBSERVABILITY.md)")
 		summaryFlag = flag.Bool("summary", false, "print an observability summary table to stderr")
 		certifyFlag = flag.Bool("certify", false, "run the translation validator and fail unless the compile is proved (see docs/TRANSLATION_VALIDATION.md)")
 		certFlag    = flag.String("cert", "", "write the equivalence certificate JSON to this file (implies -certify)")
 		boundsFlag  = flag.String("bounds", "warn", "static bounds findings: warn (report) or error (fail the compile)")
+		weightsFlag = flag.String("weights", "", "multi-tenant: comma-separated fairness weights, one per tenant (default 1 each; 0 keeps a tenant placed but never traded toward)")
+		minutilFlag = flag.String("minutil", "", "multi-tenant: per-tenant utility floors — one value for all tenants or a comma-separated list")
+		maxminFlag  = flag.Bool("maxmin", false, "multi-tenant: optimize max-min fairness over weighted utilities instead of the weighted sum")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4allc [flags] program.p4all\n")
@@ -55,7 +71,7 @@ func main() {
 	if *certFlag != "" {
 		*certifyFlag = true
 	}
-	src, name, err := loadSource(*appFlag)
+	tenants, err := loadTenants(*appFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,18 +84,47 @@ func main() {
 		fatal(err)
 	}
 
-	opts := core.Options{Tracer: tracer, Certify: *certifyFlag, Name: name}
+	solver := ilp.Options{}
 	if *exactFlag {
-		opts.Solver = ilp.Options{Gap: -1, NodeLimit: 1 << 20, TimeLimit: time.Hour}
+		solver = ilp.Options{Gap: -1, NodeLimit: 1 << 20, TimeLimit: time.Hour}
 	}
 	if *gapFlag > 0 {
-		opts.Solver.Gap = *gapFlag
+		solver.Gap = *gapFlag
 	}
 	if *timeFlag > 0 {
-		opts.Solver.TimeLimit = *timeFlag
+		solver.TimeLimit = *timeFlag
 	}
-	opts.Solver.Threads = *threadsFlag
-	opts.Solver.Deterministic = *detFlag
+	solver.Threads = *threadsFlag
+	solver.Deterministic = *detFlag
+
+	if len(tenants) > 1 {
+		if err := applyFairnessFlags(tenants, *weightsFlag, *minutilFlag); err != nil {
+			fatal(err)
+		}
+		code := compileJoint(tenants, target, multitenant.Options{
+			Solver:  solver,
+			MaxMin:  *maxminFlag,
+			Certify: *certifyFlag,
+			Tracer:  tracer,
+		}, jointOutput{
+			out:     *outFlag,
+			layout:  *layoutFlag,
+			stats:   *statsFlag,
+			cert:    *certFlag,
+			certify: *certifyFlag,
+			bounds:  *boundsFlag,
+		})
+		if cerr := tracer.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "p4allc: trace:", cerr)
+		}
+		os.Exit(code)
+	}
+	if *weightsFlag != "" || *minutilFlag != "" || *maxminFlag {
+		fatal(fmt.Errorf("-weights/-minutil/-maxmin need at least two tenants (several source files or -app a,b)"))
+	}
+	src, name := tenants[0].Source, tenants[0].Name
+
+	opts := core.Options{Tracer: tracer, Certify: *certifyFlag, Name: name, Solver: solver}
 	res, err := core.Compile(src, target, opts)
 	if cerr := tracer.Close(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "p4allc: trace:", cerr)
@@ -137,27 +182,225 @@ func main() {
 	}
 }
 
-// loadSource returns the program text and its display name: a built-in
-// benchmark app when -app was given (no positional argument needed),
-// else the single positional source file.
-func loadSource(appName string) (string, string, error) {
-	if appName != "" {
+// loadTenants resolves the invocation's program list: built-in
+// benchmark apps when -app was given (comma-separated), else the
+// positional source files. One entry keeps the single-program compile
+// path; two or more switch to the joint multi-tenant compile.
+func loadTenants(appList string) ([]multitenant.Tenant, error) {
+	if appList != "" {
 		if flag.NArg() != 0 {
-			return "", "", fmt.Errorf("-app %s and a source file are mutually exclusive", appName)
+			return nil, fmt.Errorf("-app %s and source files are mutually exclusive", appList)
 		}
-		for _, app := range apps.All() {
-			if strings.EqualFold(app.Name, appName) {
-				return app.Source, app.Name, nil
+		var out []multitenant.Tenant
+		for _, name := range strings.Split(appList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			found := false
+			// FlowRadar rides along for multi-tenant mixes; apps.All()
+			// stays the four Figure 11 benchmarks.
+			for _, app := range append(apps.All(), apps.FlowRadar()) {
+				if strings.EqualFold(app.Name, name) {
+					out = append(out, multitenant.Tenant{Name: app.Name, Source: app.Source})
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("unknown app %q (builtin: netcache, sketchlearn, precision, conquest, flowradar)", name)
 			}
 		}
-		return "", "", fmt.Errorf("unknown app %q (builtin: netcache, sketchlearn, precision, conquest)", appName)
+		if len(out) == 0 {
+			return nil, fmt.Errorf("-app list is empty")
+		}
+		return out, nil
 	}
-	if flag.NArg() != 1 {
+	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	return string(src), flag.Arg(0), err
+	if flag.NArg() == 1 {
+		// Single program: the display name stays the full path.
+		src, err := os.ReadFile(flag.Arg(0))
+		return []multitenant.Tenant{{Name: flag.Arg(0), Source: string(src)}}, err
+	}
+	var out []multitenant.Tenant
+	seen := make(map[string]bool)
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if name == "" || name == "joint" {
+			return nil, fmt.Errorf("cannot derive a tenant name from %q", path)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant name %q (from %s); tenant names derive from file basenames", name, path)
+		}
+		seen[name] = true
+		out = append(out, multitenant.Tenant{Name: name, Source: string(src)})
+	}
+	return out, nil
+}
+
+// applyFairnessFlags parses -weights and -minutil onto the tenant list.
+func applyFairnessFlags(tenants []multitenant.Tenant, weights, minutil string) error {
+	if weights != "" {
+		ws, err := parseFloats(weights)
+		if err != nil {
+			return fmt.Errorf("-weights: %w", err)
+		}
+		if len(ws) != len(tenants) {
+			return fmt.Errorf("-weights has %d values for %d tenants", len(ws), len(tenants))
+		}
+		for i, w := range ws {
+			if w == 0 {
+				tenants[i].Weight = multitenant.Unweighted
+			} else {
+				tenants[i].Weight = w
+			}
+		}
+	}
+	if minutil != "" {
+		fs, err := parseFloats(minutil)
+		if err != nil {
+			return fmt.Errorf("-minutil: %w", err)
+		}
+		switch len(fs) {
+		case 1:
+			for i := range tenants {
+				tenants[i].MinUtility = fs[0]
+			}
+		case len(tenants):
+			for i, f := range fs {
+				tenants[i].MinUtility = f
+			}
+		default:
+			return fmt.Errorf("-minutil has %d values for %d tenants (give one value or one per tenant)", len(fs), len(tenants))
+		}
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// jointOutput carries the reporting flags into the joint compile path.
+type jointOutput struct {
+	out           string
+	layout, stats bool
+	cert          string
+	certify       bool
+	bounds        string
+}
+
+// compileJoint runs the multi-tenant compile and emits per-tenant P4;
+// the return value is the process exit code.
+func compileJoint(tenants []multitenant.Tenant, target pisa.Target, opts multitenant.Options, o jointOutput) int {
+	res, err := multitenant.Compile(tenants, target, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4allc:", err)
+		return 1
+	}
+	warnings := 0
+	for _, tr := range res.Tenants {
+		for _, w := range tr.Warnings {
+			fmt.Fprintf(os.Stderr, "p4allc: warning: %s: %s\n", tr.Name, w)
+			warnings++
+		}
+	}
+	if o.bounds == "error" && warnings > 0 {
+		fmt.Fprintf(os.Stderr, "p4allc: %d bounds warning(s) under -bounds=error\n", warnings)
+		return 1
+	}
+	if o.layout {
+		for _, tr := range res.Tenants {
+			fmt.Fprintf(os.Stderr, "==== tenant %s (utility %.0f) ====\n", tr.Name, tr.Utility)
+			fmt.Fprint(os.Stderr, tr.Layout.String())
+		}
+	}
+	if o.stats {
+		ph := res.Phases
+		fmt.Fprintf(os.Stderr, "phases: parse=%v bounds=%v ilpgen=%v isolate=%v solve=%v codegen=%v certify=%v (total %v)\n",
+			ph.Parse, ph.Bounds, ph.Generate, ph.Isolate, ph.Solve, ph.Codegen, ph.Certify, ph.Total())
+		st := res.Layout.Stats
+		fmt.Fprintf(os.Stderr, "joint ILP: %d variables, %d constraints, %d nodes, certified gap %.2f%%, warm-started %v\n",
+			st.Vars, st.Constrs, st.Nodes, 100*st.Gap, st.WarmStarted)
+		for _, tr := range res.Tenants {
+			fmt.Fprintf(os.Stderr, "  tenant %-14s utility %.0f\n", tr.Name, tr.Utility)
+		}
+	}
+	if o.certify {
+		failed := false
+		for _, tr := range res.Tenants {
+			cert := tr.Certificate
+			fmt.Fprintf(os.Stderr, "%s: %s\n", tr.Name, cert.Summary())
+			if o.cert != "" {
+				data, err := cert.JSON()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "p4allc:", err)
+					return 1
+				}
+				path := insertTenantName(o.cert, tr.Name)
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "p4allc:", err)
+					return 1
+				}
+			}
+			if !cert.Proved() {
+				failed = true
+				for _, ob := range cert.Equivalence.Obligations {
+					fmt.Fprintf(os.Stderr, "p4allc: obligation: %s: %s: %s (%d paths)\n", tr.Name, ob.Kind, ob.Detail, ob.Paths)
+				}
+				for _, c := range cert.Audit.Checks {
+					if !c.OK {
+						fmt.Fprintf(os.Stderr, "p4allc: audit: %s: %s: %s\n", tr.Name, c.Name, c.Detail)
+					}
+				}
+			}
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "p4allc: translation validation failed")
+			return 1
+		}
+	}
+	if o.out == "" {
+		for _, tr := range res.Tenants {
+			fmt.Printf("// ==== tenant %s ====\n%s", tr.Name, tr.P4)
+		}
+		return 0
+	}
+	for _, tr := range res.Tenants {
+		path := insertTenantName(o.out, tr.Name)
+		if err := os.WriteFile(path, []byte(tr.P4), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "p4allc:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "p4allc: wrote %s\n", path)
+	}
+	return 0
+}
+
+// insertTenantName turns out.p4 into out.<tenant>.p4 so one -o flag
+// fans out to per-tenant files. The null device stays itself — CI
+// discards joint P4 with -o /dev/null.
+func insertTenantName(path, name string) string {
+	if path == os.DevNull {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + strings.ToLower(name) + ext
 }
 
 func resolveTarget(spec string, memOverride int) (pisa.Target, error) {

@@ -240,6 +240,51 @@ optimize %s;
 	return App{Name: "ConQuest", Source: modules.Compose(frags...)}
 }
 
+// FlowRadar builds the FlowRadar program (Li et al., NSDI'16): per-flow
+// traffic accounting with a Bloom filter screening new flows in front
+// of an encoded-flowset counting table. It is the library's fifth
+// module consumer and the "new tenant" of the multi-tenant evaluation:
+// a program none of the Figure 11 suite contains, sharing the pipeline
+// with NetCache and SketchLearn in the joint-compilation tests.
+func FlowRadar() App {
+	src := modules.Compose(`
+// FlowRadar (Li et al., NSDI'16): encoded per-flow counters.
+header pkt {
+    bit<32> flow;
+    bit<16> len;
+}
+`,
+		modules.BloomFilter(modules.Instance{Prefix: "fr_bf", Key: "pkt.flow"}),
+		modules.CountingTable(modules.Instance{Prefix: "fr_ct", Key: "pkt.flow", Seed: 32}),
+		`
+struct frd_meta {
+    bit<8> is_new;
+}
+
+action note_new() {
+    frd_meta.is_new = 1;
+}
+
+control main {
+    apply {
+        fr_bf_check.apply();
+        if (fr_bf_meta.hits < fr_bf_rows) {
+            note_new();
+        }
+        fr_ct_record.apply();
+    }
+}
+
+assume fr_bf_rows >= 1 && fr_bf_rows <= 3;
+assume fr_bf_bits >= 1024;
+assume fr_ct_rows >= 1 && fr_ct_rows <= 3;
+assume fr_ct_cells >= 256;
+
+optimize 0.3 * (fr_bf_rows * fr_bf_bits) + 0.7 * (fr_ct_rows * fr_ct_cells);
+`)
+	return App{Name: "FlowRadar", Source: src}
+}
+
 // All returns the Figure 11 application suite.
 func All() []App {
 	return []App{

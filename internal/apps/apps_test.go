@@ -149,6 +149,26 @@ func TestNetCacheEndToEndSimulation(t *testing.T) {
 	}
 }
 
+func TestFlowRadarCompiles(t *testing.T) {
+	app := FlowRadar()
+	res, err := core.Compile(app.Source, pisa.EvalTarget(pisa.Mb), core.Options{})
+	if err != nil {
+		t.Fatalf("FlowRadar: %v", err)
+	}
+	if got := res.Layout.Symbolic("fr_bf_rows"); got < 1 {
+		t.Errorf("fr_bf_rows = %d, want >= 1", got)
+	}
+	if got := res.Layout.Symbolic("fr_ct_rows"); got < 1 {
+		t.Errorf("fr_ct_rows = %d, want >= 1", got)
+	}
+	if got := res.Layout.Symbolic("fr_ct_cells"); got < 256 {
+		t.Errorf("fr_ct_cells = %d, want >= 256", got)
+	}
+	if err := res.Layout.Validate(res.ILP); err != nil {
+		t.Errorf("layout invalid: %v", err)
+	}
+}
+
 func TestHashPipeCompiles(t *testing.T) {
 	app := HashPipe()
 	res, err := core.Compile(app.Source, pisa.EvalTarget(pisa.Mb), core.Options{})

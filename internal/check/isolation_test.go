@@ -1,0 +1,113 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+	"p4all/internal/unroll"
+)
+
+func jointModel(t *testing.T) (*ilpgen.Joint, []string) {
+	t.Helper()
+	target := pisa.Target{
+		Name: "iso-test", Stages: 4, MemoryBits: 64 * 1024,
+		StatefulALUs: 4, StatelessALUs: 16, PHVBits: 4096,
+	}
+	names := []string{"a", "b"}
+	var tus []ilpgen.TenantUnit
+	for _, n := range names {
+		u, err := lang.ParseAndResolve(modules.StandaloneCMS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds, err := unroll.UpperBounds(u, &target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tus = append(tus, ilpgen.TenantUnit{Name: n, Unit: u, Bounds: bounds})
+	}
+	j, err := ilpgen.GenerateJoint(tus, &target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetObjective(ilpgen.Fairness{}); err != nil {
+		t.Fatal(err)
+	}
+	return j, names
+}
+
+// TestModelIsolationCleanJoint: a model built by GenerateJoint holds
+// the partition the audit demands.
+func TestModelIsolationCleanJoint(t *testing.T) {
+	j, names := jointModel(t)
+	if vs := ModelIsolation(j.Model, names); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+}
+
+// TestModelIsolationCatchesCoupling: a hand-planted cross-tenant row
+// (tenant a's constraint mentioning tenant b's variable) is reported.
+func TestModelIsolationCatchesCoupling(t *testing.T) {
+	j, names := jointModel(t)
+	m := j.Model
+	var aVar, bVar ilp.Var = -1, -1
+	for i := 0; i < m.NumVars(); i++ {
+		switch {
+		case aVar < 0 && strings.HasPrefix(m.VarName(ilp.Var(i)), "a/"):
+			aVar = ilp.Var(i)
+		case bVar < 0 && strings.HasPrefix(m.VarName(ilp.Var(i)), "b/"):
+			bVar = ilp.Var(i)
+		}
+	}
+	if aVar < 0 || bVar < 0 {
+		t.Fatal("tenant variables not found")
+	}
+	e := ilp.Term(aVar, 1)
+	e.Add(bVar, 1)
+	m.AddConstr("a/leak", e, ilp.LE, 100)
+	vs := ModelIsolation(m, names)
+	if len(vs) == 0 {
+		t.Fatal("cross-tenant coupling not reported")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Constraint == "a/leak" && strings.HasPrefix(v.Var, "b/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v do not name the planted leak", vs)
+	}
+}
+
+// TestModelIsolationCatchesUnscopedRows: un-namespaced variables and
+// constraints (a generator that forgot SetNamePrefix) are reported.
+func TestModelIsolationCatchesUnscopedRows(t *testing.T) {
+	m := ilp.NewModel("raw")
+	x := m.AddInt("x", 0, 10)
+	m.AddConstr("cap", ilp.Term(x, 1), ilp.LE, 5)
+	vs := ModelIsolation(m, []string{"a"})
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2 (variable and constraint): %v", len(vs), vs)
+	}
+}
+
+// TestModelIsolationCatchesUnknownTenant: a namespace that is not a
+// declared tenant (and not "joint") is reported.
+func TestModelIsolationCatchesUnknownTenant(t *testing.T) {
+	m := ilp.NewModel("raw")
+	m.SetNamePrefix("ghost")
+	x := m.AddInt("x", 0, 10)
+	m.AddConstr("cap", ilp.Term(x, 1), ilp.LE, 5)
+	vs := ModelIsolation(m, []string{"a"})
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+}

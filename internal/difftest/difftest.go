@@ -1,7 +1,7 @@
 // Package difftest is the differential and metamorphic testing harness
 // for the compiler pipeline: it executes the same elastic program under
 // multiple independently derived configurations and demands
-// bit-identical observable behavior. Six oracles cover the pipeline's
+// bit-identical observable behavior. Seven oracles cover the pipeline's
 // correctness surface:
 //
 //  1. layout invariance — one program with its symbolics pinned must
@@ -21,7 +21,11 @@
 //     underestimates relative to a fresh sketch fed the same suffix;
 //  6. translation validation — every compiled layout must certify:
 //     the emitted program symbolically equivalent to its source and the
-//     layout clean under the independent resource audit (internal/tv).
+//     layout clean under the independent resource audit (internal/tv);
+//  7. multi-tenant equivalence — each tenant of a jointly-compiled mix
+//     (internal/multitenant) must behave bit-identically to the same
+//     program compiled alone with its symbolics pinned to the joint
+//     allocation, per-packet and in final register state.
 //
 // The harness is deterministic: every stream and every auxiliary
 // choice derives from Config.Seed. cmd/difftest drives long offline
@@ -165,11 +169,12 @@ const (
 	OracleEngine   = "engine"
 	OracleMigrate  = "migrate"
 	OracleCertify  = "certify"
+	OracleTenant   = "tenant"
 )
 
 // AllOracles lists every oracle in run order.
 func AllOracles() []string {
-	return []string{OracleGolden, OracleSnapshot, OracleEngine, OracleCertify, OracleLayout, OracleMigrate}
+	return []string{OracleGolden, OracleSnapshot, OracleEngine, OracleCertify, OracleLayout, OracleMigrate, OracleTenant}
 }
 
 // Config parameterizes one harness run.
@@ -313,6 +318,11 @@ func Run(cfg Config) (*Report, error) {
 				next := layouts[(bi+1)%len(layouts)]
 				checkMigration(rep, cfg, spec, layouts[bi], next, cfg.Budgets[bi], stream)
 			}
+		}
+	}
+	if want[OracleTenant] {
+		if err := checkTenantEquivalence(rep, cfg, eng, specs); err != nil {
+			return nil, err
 		}
 	}
 	return rep, nil

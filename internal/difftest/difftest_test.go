@@ -33,6 +33,46 @@ func TestDeterministicSlice(t *testing.T) {
 	t.Logf("%d checks, %d packets", rep.Checks, rep.Packets)
 }
 
+// TestTenantOracle runs the multi-tenant equivalence oracle on its own:
+// the joint NetCache+SketchLearn compile's per-tenant behavior must be
+// bit-identical to each tenant compiled alone at its allocated sizes.
+func TestTenantOracle(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:    2,
+		N:       250,
+		Budgets: []int{1 << 19},
+		Apps:    []string{"NetCache", "SketchLearn"},
+		Oracles: []string{OracleTenant},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checks != 2 {
+		t.Fatalf("got %d tenant checks, want 2", rep.Checks)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("oracle violation: %s", f)
+	}
+}
+
+// TestTenantOracleSkipsSingleApp: with one app selected there is no mix
+// to compile; the oracle must skip rather than fail.
+func TestTenantOracleSkipsSingleApp(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:    2,
+		N:       10,
+		Budgets: []int{1 << 19},
+		Apps:    []string{"Precision"},
+		Oracles: []string{OracleTenant},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checks != 0 || !rep.Ok() {
+		t.Fatalf("single-app tenant oracle: %d checks, failures %v", rep.Checks, rep.Failures)
+	}
+}
+
 // compileSpec compiles an app spec at a small budget with the
 // harness's deterministic solver.
 func compileSpec(t *testing.T, spec AppSpec, budget int) *core.Result {

@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p4all/internal/core"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/multitenant"
+	"p4all/internal/pisa"
+	"p4all/internal/sim"
+)
+
+// --- oracle 7: multi-tenant per-tenant equivalence ----------------------
+
+// checkTenantEquivalence is the soundness oracle for the joint
+// multi-tenant compiler: each tenant of a jointly-optimized mix must
+// behave bit-identically to the same program compiled ALONE with its
+// symbolics pinned to the joint allocation. Sharing the pipeline may
+// move a tenant's placement and shrink its structures, but it must
+// never change what the tenant computes at the sizes it was given —
+// that is exactly what check.ModelIsolation's structural partition
+// promises, and this oracle tests it behaviorally: per-packet outputs
+// and final register state are compared over the full stream.
+//
+// The mix is the first two selected apps (the oracle is skipped, with a
+// log line, when fewer are selected); it runs once per harness run at
+// the first configured budget — joint solves are the harness's most
+// expensive compiles, so the budget matrix is not swept.
+func checkTenantEquivalence(rep *Report, cfg Config, eng sim.Engine, specs []AppSpec) error {
+	if len(specs) < 2 {
+		cfg.logf("tenant oracle skipped: needs 2 apps, have %d", len(specs))
+		return nil
+	}
+	budget := cfg.Budgets[0]
+	tgt := pisa.EvalTarget(budget)
+	mixSpecs := specs[:2]
+	mix := make([]multitenant.Tenant, len(mixSpecs))
+	for i, s := range mixSpecs {
+		mix[i] = multitenant.Tenant{Name: strings.ToLower(s.Name), Source: s.Source}
+	}
+	cfg.logf("joint compile %s+%s @%dKb", mix[0].Name, mix[1].Name, budget/1024)
+	res, err := multitenant.Compile(mix, tgt, multitenant.Options{
+		Solver:      ilp.Options{Deterministic: true, Gap: 0.1, NodeLimit: 2000, TimeLimit: 2 * time.Minute},
+		SkipCodegen: true,
+	})
+	if err != nil {
+		return fmt.Errorf("difftest: joint compile: %w", err)
+	}
+	for i, spec := range mixSpecs {
+		tr := res.Tenants[i]
+		rep.Checks++
+		cfg.logf("  tenant %s: solo pinned compile + replay", tr.Name)
+		solo, err := core.Compile(pinnedSource(spec.Source, tr.Layout), tgt, baseSolver())
+		if err != nil {
+			return fmt.Errorf("difftest: tenant %s pinned solo compile: %w", tr.Name, err)
+		}
+		if d := diffSymbolics(tr.Layout, solo.Layout); d != "" {
+			rep.Failures = append(rep.Failures, Failure{
+				App: spec.Name, Oracle: OracleTenant, Budget: budget,
+				Detail: "solo compile broke the joint allocation: " + d,
+			})
+			continue
+		}
+		stream := GenStream(spec, cfg.Seed, cfg.N)
+		jointOuts, jointRegs, err := replayUnit(spec, tr.Unit, tr.Layout, eng, stream, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("difftest: tenant %s joint replay: %w", tr.Name, err)
+		}
+		soloOuts, soloRegs, err := replayUnit(spec, solo.Unit, solo.Layout, eng, stream, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("difftest: tenant %s solo replay: %w", tr.Name, err)
+		}
+		rep.Packets += 2 * len(stream)
+		detail := ""
+		for p := range jointOuts {
+			if d := diffOutputs(p, soloOuts[p], jointOuts[p]); d != nil {
+				detail = "joint tenant diverged from solo compile: " + d.String()
+				break
+			}
+		}
+		if detail == "" {
+			if d := diffSnapshots(soloRegs, jointRegs); d != "" {
+				detail = "joint tenant register end-state: " + d
+			}
+		}
+		if detail != "" {
+			rep.Failures = append(rep.Failures, Failure{
+				App: spec.Name, Oracle: OracleTenant, Budget: budget, Detail: detail,
+			})
+		}
+	}
+	return nil
+}
+
+// replayUnit is replayOutputs for a bare (unit, layout) pair — the
+// joint compiler hands back per-tenant layouts without a core.Result
+// wrapper.
+func replayUnit(spec AppSpec, u *lang.Unit, l *ilpgen.Layout, eng sim.Engine, stream []sim.Packet, seed int64) ([]map[string]uint64, *sim.Snapshot, error) {
+	pipe, err := sim.NewEngine(u, l, eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	golden, err := spec.NewGolden(l, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := golden.SeedRegisters(pipe); err != nil {
+		return nil, nil, err
+	}
+	outs := make([]map[string]uint64, 0, len(stream))
+	for i, pkt := range stream {
+		out, err := pipe.Process(pkt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		outs = append(outs, out)
+	}
+	return outs, pipe.Snapshot(), nil
+}

@@ -1,0 +1,234 @@
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p4all/internal/ilp"
+	"p4all/internal/modules"
+	"p4all/internal/multitenant"
+)
+
+// miniNetCache is a NetCache-shaped program (CMS + KV store, no
+// forwarding table) small enough that a two-tenant joint solve stays in
+// the tens of milliseconds.
+func miniNetCache() string {
+	return modules.Compose(modules.FlowHeader,
+		modules.CountMinSketch(modules.Instance{Prefix: "cms", Key: "pkt.flow"}),
+		modules.KeyValueStore(modules.Instance{Prefix: "kv", Key: "pkt.flow", Seed: 16}),
+		`
+control main {
+    apply {
+        cms_update.apply();
+        kv_read.apply();
+    }
+}
+
+assume cms_rows >= 1 && cms_rows <= 2;
+assume cms_cols >= 256;
+assume kv_parts >= 1 && kv_parts <= 2;
+assume kv_slots >= 64;
+
+optimize 0.5 * (cms_rows * cms_cols) + 0.5 * (kv_parts * kv_slots);
+`)
+}
+
+func mtTestConfig() MTConfig {
+	return MTConfig{
+		Target: driftTarget(),
+		Tenants: []multitenant.Tenant{
+			{Name: "left", Source: miniNetCache(), MinUtility: 256},
+			{Name: "right", Source: miniNetCache(), MinUtility: 256},
+		},
+		Solver: ilp.Options{Gap: 0.05, NodeLimit: 2000, TimeLimit: 30 * time.Second},
+	}
+}
+
+// TestMTReweightShrinksOneGrowsOther: the tentpole's elastic scenario —
+// flipping the fairness weights between two tenants sharing one
+// pipeline shrinks the disfavored tenant and strictly grows the favored
+// one, in a single epoch-stamped swap of both planes.
+func TestMTReweightShrinksOneGrowsOther(t *testing.T) {
+	c, err := NewMT(mtTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gate().Shards() != 2 {
+		t.Fatalf("got %d shards, want 2", c.Gate().Shards())
+	}
+	// Establish an incumbent that favors left, then flip.
+	if _, err := c.Reweight([]float64{2, 0.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	beforeLeft := c.Result().Tenant("left").Utility
+	beforeRight := c.Result().Tenant("right").Utility
+	epochBefore := c.Gate().Epoch()
+	dec, err := c.Reweight([]float64{0.5, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionAdopted {
+		t.Fatalf("flip not adopted: %v (%s)", dec.Action, dec.Reason)
+	}
+	if dec.Stats == nil || !dec.Stats.WarmStarted {
+		t.Errorf("re-solve was not warm-started: %+v", dec.Stats)
+	}
+	if dec.Epoch != epochBefore+1 {
+		t.Errorf("epoch %d after adoption, want %d", dec.Epoch, epochBefore+1)
+	}
+	if got := dec.Utilities["right"]; got <= beforeRight {
+		t.Errorf("favored tenant right did not grow: %g -> %g", beforeRight, got)
+	}
+	if got := dec.Utilities["left"]; got >= beforeLeft {
+		t.Errorf("disfavored tenant left did not shrink: %g -> %g", beforeLeft, got)
+	}
+	// Both planes carry the same epoch: the shrink and the grow were one
+	// transition.
+	for _, name := range []string{"left", "right"} {
+		p := c.Plane(name)
+		if p == nil {
+			t.Fatalf("tenant %s has no plane", name)
+		}
+		if p.Epoch != dec.Epoch {
+			t.Errorf("tenant %s plane at epoch %d, gate at %d", name, p.Epoch, dec.Epoch)
+		}
+		if p.Layout.Symbolic("cms_rows") < 1 || p.Layout.Symbolic("kv_parts") < 1 {
+			t.Errorf("tenant %s plane shapes collapsed: %v", name, p.Layout.Symbolics)
+		}
+	}
+}
+
+// TestMTObserveDriftReweights: the drift plumbing — a skew step on one
+// tenant's traffic runs the weight policy and the joint re-solve.
+func TestMTObserveDriftReweights(t *testing.T) {
+	cfg := mtTestConfig()
+	cfg.Policy = func(tenant int, d Drift, weights []float64) []float64 {
+		weights[tenant] = 3 // drift earns the observed tenant a big raise
+		return weights
+	}
+	c, err := NewMT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		dec, err := c.Observe("right", window(0.55, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action != ActionNone {
+			t.Fatalf("stable window %d: %v (%s)", i, dec.Action, dec.Reason)
+		}
+	}
+	dec, err := c.Observe("right", window(0.04, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Drift.Triggered {
+		t.Fatal("skew step did not trigger drift")
+	}
+	if dec.Action != ActionAdopted {
+		t.Fatalf("drift reweight not adopted: %v (%s)", dec.Action, dec.Reason)
+	}
+	if w := c.Weights(); w[1] != 3 {
+		t.Errorf("policy weights not adopted: %v", w)
+	}
+	if _, err := c.Observe("ghost", window(0.5, 0)); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+}
+
+// TestMTSwapStorm hammers the shared gate from reader goroutines while
+// the controller storms reweights between two tenants, and checks the
+// migration safety invariants on every load (run under -race in CI):
+//
+//   - a loaded plane is always complete and consistently epoch-stamped;
+//   - the CMS never under-estimates a seeded hot key mid-swap (counts
+//     are carried or re-admitted, never silently zeroed);
+//   - the KV store never drops partitions mid-swap (its shape always
+//     matches its own layout) and the hottest key — first in line for
+//     re-admission — is never lost.
+func TestMTSwapStorm(t *testing.T) {
+	c, err := NewMT(mtTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed identifiable state into both tenants' planes before any
+	// reader or swap starts.
+	hot := []KeyCount{{Key: 11, Count: 100}, {Key: 22, Count: 90}, {Key: 33, Count: 80}, {Key: 44, Count: 70}}
+	names := []string{"left", "right"}
+	for _, name := range names {
+		p := c.Plane(name)
+		for _, kc := range hot {
+			p.CMS.Add(kc.Key, uint32(kc.Count))
+		}
+		p.KV.Put(hot[0].Key, hot[0].Key*10)
+	}
+	hotMap := map[string][]KeyCount{"left": hot, "right": hot}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	fail := func(format string, args ...interface{}) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for shard := 0; shard < c.Gate().Shards(); shard++ {
+					p, e := c.Gate().Load(shard)
+					if p.Epoch != e {
+						fail("shard %d: plane epoch %d loaded at epoch %d", shard, p.Epoch, e)
+					}
+					for _, kc := range hot {
+						if est := p.CMS.Estimate(kc.Key); uint64(est) < kc.Count {
+							fail("shard %d epoch %d: CMS estimate for key %d fell to %d (< %d)", shard, e, kc.Key, est, kc.Count)
+						}
+					}
+					if p.KV.Parts() != int(p.Layout.Symbolic("kv_parts")) {
+						fail("shard %d epoch %d: KV has %d partitions, layout says %d", shard, e, p.KV.Parts(), p.Layout.Symbolic("kv_parts"))
+					}
+					if _, ok := p.KV.Get(hot[0].Key); !ok {
+						fail("shard %d epoch %d: hottest key %d dropped from KV", shard, e, hot[0].Key)
+					}
+				}
+			}
+		}()
+	}
+
+	adopted := 0
+	for i := 0; i < 10; i++ {
+		w := []float64{2, 0.5}
+		if i%2 == 1 {
+			w = []float64{0.5, 2}
+		}
+		dec, err := c.Reweight(w, hotMap)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if dec.Action == ActionAdopted {
+			adopted++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if adopted < 2 {
+		t.Errorf("storm adopted only %d of 10 reweights; the swap path went untested", adopted)
+	}
+	if e := c.Gate().Epoch(); e < uint64(1+adopted) {
+		t.Errorf("gate epoch %d after %d adoptions", e, adopted)
+	}
+}

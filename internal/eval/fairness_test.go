@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigureFairnessMonotone regenerates the fairness figure at a small
+// budget and checks its claims: the favored tenant's utility is
+// monotone non-decreasing in its weight and strictly grows across the
+// sweep, the fixed tenant is squeezed down toward (but never below) its
+// floor, and every re-solve after the first rides the warm-start pool.
+func TestFigureFairnessMonotone(t *testing.T) {
+	res, err := FigureFairness(FairnessConfig{
+		Weights: []float64{0.5, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.FixedUtility < 2048-1e-6 {
+			t.Errorf("w=%g: fixed tenant below its floor: %g", p.Weight, p.FixedUtility)
+		}
+		if p.FavoredUtility < 2048-1e-6 {
+			t.Errorf("w=%g: favored tenant below its floor: %g", p.Weight, p.FavoredUtility)
+		}
+		if i == 0 {
+			continue
+		}
+		if !p.WarmStarted {
+			t.Errorf("w=%g: re-solve did not warm-start", p.Weight)
+		}
+		if p.FavoredUtility < res.Points[i-1].FavoredUtility-1e-6 {
+			t.Errorf("favored utility fell with weight: w=%g %g -> w=%g %g",
+				res.Points[i-1].Weight, res.Points[i-1].FavoredUtility, p.Weight, p.FavoredUtility)
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.FavoredUtility <= first.FavoredUtility {
+		t.Errorf("sweep did not grow the favored tenant: %g (w=%g) -> %g (w=%g)",
+			first.FavoredUtility, first.Weight, last.FavoredUtility, last.Weight)
+	}
+	if last.FixedUtility >= first.FixedUtility {
+		t.Errorf("sweep did not squeeze the fixed tenant: %g -> %g",
+			first.FixedUtility, last.FixedUtility)
+	}
+	// Each point is bounded by NodeLimit/TimeLimit; the whole sweep must
+	// land well under the per-point limit times the point count (the
+	// in-LP deadline regression burned minutes in a single root
+	// relaxation here).
+	var total time.Duration
+	for _, p := range res.Points {
+		total += p.SolveTime
+	}
+	if budget := time.Duration(len(res.Points)) * 16 * time.Second; total > budget {
+		t.Errorf("sweep took %v, exceeding the %v limit budget", total, budget)
+	}
+}

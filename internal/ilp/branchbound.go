@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -46,9 +47,11 @@ type Options struct {
 	DisableHeuristic bool
 	// Start, when non-nil, supplies a MIP start: a candidate value per
 	// model variable (length must equal the model's variable count,
-	// else Solve returns an error). The vector is projected onto the
-	// variable bounds — integer variables rounded, everything clamped —
-	// and, if the projected point satisfies every constraint, installed
+	// else Solve returns an error). Every entry must be finite — a NaN
+	// or infinite value returns an error rather than being silently
+	// dropped. The vector is projected onto the variable bounds —
+	// integer variables rounded, out-of-range values clamped — and, if
+	// the projected point satisfies every constraint, installed
 	// as the root incumbent before branching so the search starts with
 	// a proven bound. An infeasible start is silently dropped (the
 	// solve proceeds cold); Solution.WarmStarted reports which happened.
@@ -253,6 +256,10 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	}
 	if opts.TimeLimit > 0 {
 		b.deadline = time.Now().Add(opts.TimeLimit)
+		// Stamp the lowered form so the simplex itself aborts past the
+		// deadline: between-node checks alone cannot stop a single
+		// degenerate LP from overrunning the limit.
+		sf.deadline = b.deadline
 	}
 	b.progressEvery = opts.ProgressEvery
 	if b.progressEvery <= 0 {
@@ -285,6 +292,17 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		if len(opts.Start) != sf.nStruct {
 			return nil, fmt.Errorf("ilp: start vector has %d values for %d variables", len(opts.Start), sf.nStruct)
 		}
+		// A non-finite start entry is a caller bug (a stale or
+		// corrupted warm-start pool), not a merely-infeasible point:
+		// NaN propagates through the clamp in projectStart and the
+		// start would be dropped silently. Reject it loudly instead.
+		// Finite out-of-range values are legitimate (a start taken
+		// from a model with wider bounds) and are clamped.
+		for j, v := range opts.Start {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("ilp: start value %v for variable %q (index %d) is not finite", v, m.vars[j].name, j)
+			}
+		}
 		startX, startObj = projectStart(sf, opts.Start)
 	}
 
@@ -297,6 +315,12 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	b.tallies[0].addCounts(counts)
 	b.nodesDone.Store(1)
 	b.tallies[0].nodes.Store(1)
+	if errors.Is(err, errDeadline) {
+		// The root relaxation alone exhausted the time limit: report an
+		// honest limit stop (no incumbent, no root bound) instead of a
+		// hard error.
+		return b.solution(StatusLimit), nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +589,9 @@ func (b *bb) searchSeq(ws *lpWorkspace) (*Solution, error) {
 				b.emitLocked(ProgressNode)
 			}
 			out, err := b.step(cur, b.bestObj, ws, tally)
+			if errors.Is(err, errDeadline) {
+				return b.solution(StatusLimit), nil
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -645,9 +672,25 @@ func projectStart(sf *standardForm, start []float64) ([]float64, float64) {
 	return x, obj
 }
 
+// relGap returns the relative optimality gap between an incumbent
+// objective and a proven bound (both in the same sense): |best-bound| /
+// |best|. A converged pair (absolute difference within 1e-9) reports 0
+// regardless of scale. A zero incumbent with a nonzero difference
+// reports +Inf — the relative gap is undefined at zero, and any finite
+// answer (the old max(1,|best|) denominator in particular) lets a
+// near-zero incumbent falsely satisfy Options.Gap while the true
+// optimum is unboundedly far away in relative terms. Incumbent and
+// bound straddling zero yield a gap > 1, which no practical Gap
+// setting accepts.
 func relGap(best, bound float64) float64 {
-	den := math.Max(1, math.Abs(best))
-	return math.Abs(best-bound) / den
+	diff := math.Abs(best - bound)
+	if diff <= 1e-9 {
+		return 0
+	}
+	if best == 0 {
+		return math.Inf(1)
+	}
+	return diff / math.Abs(best)
 }
 
 // integral reports whether all integer variables take integral values.

@@ -114,6 +114,10 @@ type Model struct {
 	constrs []constrData
 	obj     Expr
 	sense   Sense
+	// namePrefix, when nonempty, is prepended (with "/") to the name of
+	// every variable and constraint added — the namespacing mechanism
+	// for joint multi-tenant models built by several generators.
+	namePrefix string
 }
 
 // NewModel returns an empty model with the given diagnostic name.
@@ -123,6 +127,22 @@ func NewModel(name string) *Model {
 
 // Name returns the model's diagnostic name.
 func (m *Model) Name() string { return m.name }
+
+// SetNamePrefix sets the namespace applied to subsequently added
+// variables and constraints: every name becomes "prefix/name". An
+// empty prefix restores plain names. Joint multi-tenant generation
+// sets one prefix per tenant so K generators can share a model without
+// name collisions, and the prefix doubles as the tenant tag the
+// isolation audit classifies by.
+func (m *Model) SetNamePrefix(prefix string) { m.namePrefix = prefix }
+
+// scopedName applies the current name prefix.
+func (m *Model) scopedName(name string) string {
+	if m.namePrefix == "" {
+		return name
+	}
+	return m.namePrefix + "/" + name
+}
 
 // NumVars returns the number of variables added so far.
 func (m *Model) NumVars() int { return len(m.vars) }
@@ -134,6 +154,7 @@ func (m *Model) NumConstrs() int { return len(m.constrs) }
 // variables have their bounds clamped to [0, 1]. Lo must be finite and
 // must not exceed hi.
 func (m *Model) AddVar(name string, lo, hi float64, typ VarType) Var {
+	name = m.scopedName(name)
 	if typ == Binary {
 		lo = math.Max(lo, 0)
 		hi = math.Min(hi, 1)
@@ -181,6 +202,7 @@ func (m *Model) SetBounds(v Var, lo, hi float64) {
 // AddConstr adds the linear constraint "expr op rhs". The expression's
 // constant term is folded into the right-hand side.
 func (m *Model) AddConstr(name string, expr Expr, op Op, rhs float64) {
+	name = m.scopedName(name)
 	for v := range expr.coef {
 		if int(v) < 0 || int(v) >= len(m.vars) {
 			panic(fmt.Sprintf("ilp: constraint %q references unknown variable %d", name, v))
@@ -190,6 +212,16 @@ func (m *Model) AddConstr(name string, expr Expr, op Op, rhs float64) {
 	e := expr.clone()
 	e.konst = 0
 	m.constrs = append(m.constrs, constrData{name: name, expr: e, op: op, rhs: rhs})
+}
+
+// EachConstr calls f once per constraint, in the order they were
+// added. The expression passed to f is the model's own, not a copy:
+// callers must treat it as read-only. Used by audits that classify
+// constraints structurally (e.g. the multi-tenant isolation check).
+func (m *Model) EachConstr(f func(name string, expr Expr, op Op, rhs float64)) {
+	for _, c := range m.constrs {
+		f(c.name, c.expr, c.op, c.rhs)
+	}
 }
 
 // SetObjective sets the objective expression and direction. The
@@ -285,14 +317,15 @@ type Solution struct {
 	Workers []WorkerCounts
 }
 
-// AchievedGap returns |Objective - BestBound| / max(1, |Objective|),
-// the certified optimality gap of the returned solution.
+// AchievedGap returns the certified optimality gap of the returned
+// solution: |Objective - BestBound| / |Objective|, with a converged
+// pair reporting 0 and a zero objective with a nonzero bound reporting
+// +Inf (the same semantics the search itself stops on — see relGap).
 func (s *Solution) AchievedGap() float64 {
 	if s.Values == nil {
 		return math.Inf(1)
 	}
-	den := math.Max(1, math.Abs(s.Objective))
-	return math.Abs(s.Objective-s.BestBound) / den
+	return relGap(s.Objective, s.BestBound)
 }
 
 // Value returns the solution value of v, rounded to the nearest

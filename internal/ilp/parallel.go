@@ -28,6 +28,7 @@ package ilp
 
 import (
 	"container/heap"
+	"errors"
 	"math"
 	"sync"
 	"time"
@@ -173,6 +174,13 @@ func (b *bb) plungeFree(nd *node, ws *lpWorkspace, tally *workerTally) error {
 		}
 		cutoff := math.Float64frombits(b.bestBits.Load())
 		out, err := b.step(cur, cutoff, ws, tally)
+		if errors.Is(err, errDeadline) {
+			// The deadline fired inside this node's LP: stop the pool and
+			// requeue the unexpanded node (the loop exit below) so the
+			// abandoned subtree keeps a sound bound.
+			b.halt(StatusLimit)
+			break
+		}
 		if err != nil {
 			return err
 		}
@@ -228,6 +236,16 @@ func (b *bb) plungeDet(nd *node, cutoff float64, ws *lpWorkspace, tally *workerT
 	cur := nd
 	for steps := 0; cur != nil && steps < plungeLimit; steps++ {
 		out, err := b.step(cur, cutoff, ws, tally)
+		if errors.Is(err, errDeadline) {
+			// The deadline fired inside this node's LP. End the chain
+			// with the node as its leftover: the merge requeues it for a
+			// sound bound and the next barrier's wall-clock check turns
+			// the stop into StatusLimit. (TimeLimit stops in
+			// deterministic mode are already documented as landing at a
+			// timing-dependent round.)
+			ch.leftover = cur
+			return ch
+		}
 		if err != nil {
 			ch.err = err
 			return ch

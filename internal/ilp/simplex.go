@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // The simplex implementation solves LPs of the internal standard form
@@ -37,6 +38,20 @@ var errSingularBasis = errors.New("ilp: singular basis during refactorization")
 // with a tighter refactorization cadence.
 var errNumerical = errors.New("ilp: numerical drift detected")
 
+// errDeadline signals that Options.TimeLimit expired inside a simplex
+// run. The branch-and-bound drivers translate it into a StatusLimit
+// stop; without this in-LP check a single degenerate relaxation (the
+// root LP of a heavily reweighted warm re-solve is the canonical case)
+// can overrun the time limit by minutes before any between-node check
+// fires.
+var errDeadline = errors.New("ilp: time limit reached during an LP solve")
+
+// deadlineCheckEvery is how many simplex iterations elapse between
+// wall-clock reads in iterate — frequent enough that an LP overshoots
+// the deadline by at most a few milliseconds, rare enough that the
+// time.Now() cost is invisible.
+const deadlineCheckEvery = 64
+
 // spCol is one sparse column of the constraint matrix.
 type spCol struct {
 	ind []int32
@@ -56,6 +71,10 @@ type standardForm struct {
 	objK    float64   // objective constant
 	intVar  []bool    // structural integrality markers
 	branch  []int     // branching priority per structural column
+	// deadline, when set, aborts any simplex run past it with
+	// errDeadline. Solve stamps it once before the root LP; every
+	// worker reads it immutably afterwards.
+	deadline time.Time
 }
 
 // lowerModel converts a Model into standardForm, negating the objective
@@ -515,6 +534,10 @@ func (s *simplex) iterate(iterLimit int) (lpStatus, error) {
 	for {
 		if iterLimit > 0 && s.iters >= iterLimit {
 			return lpOptimal, fmt.Errorf("ilp: simplex iteration limit (%d) exceeded", iterLimit)
+		}
+		if !s.sf.deadline.IsZero() && s.iters%deadlineCheckEvery == 0 &&
+			time.Now().After(s.sf.deadline) {
+			return lpOptimal, errDeadline
 		}
 		s.iters++
 		// Duals: y = cB^T · Binv.

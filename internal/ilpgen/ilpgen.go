@@ -60,6 +60,43 @@ type ILP struct {
 	mem    map[dep.RegInstance][]ilp.Var // memory bits per register instance per stage
 	insts  map[string][]dep.RegInstance  // register name -> its instances
 	regOf  map[dep.RegInstance]*lang.Register
+
+	// util is the linearized utility expression: the objective of a
+	// single-unit compile, or this tenant's fairness term in a joint
+	// compile.
+	util ilp.Expr
+	// shared, when non-nil, collects this unit's per-stage resource
+	// usage into the joint accumulator instead of emitting per-unit
+	// budget rows (set only by GenerateJoint).
+	shared *sharedRows
+}
+
+// sharedRows accumulates per-stage resource expressions across the
+// tenants of a joint compile. The joint generator emits one budget row
+// per stage from each accumulator after every tenant has generated;
+// the per-tenant rows they replace would be implied by the joint ones
+// (all terms are nonnegative), so they are skipped entirely.
+type sharedRows struct {
+	mem, hf, hl, hash []ilp.Expr
+	phv               ilp.Expr
+	fixedPHV          int // summed Unit.FixedPHVBits across tenants
+}
+
+func newSharedRows(stages int) *sharedRows {
+	sh := &sharedRows{
+		mem:  make([]ilp.Expr, stages),
+		hf:   make([]ilp.Expr, stages),
+		hl:   make([]ilp.Expr, stages),
+		hash: make([]ilp.Expr, stages),
+		phv:  ilp.NewExpr(),
+	}
+	for s := 0; s < stages; s++ {
+		sh.mem[s] = ilp.NewExpr()
+		sh.hf[s] = ilp.NewExpr()
+		sh.hl[s] = ilp.NewExpr()
+		sh.hash[s] = ilp.NewExpr()
+	}
+	return sh
 }
 
 // Generate builds the ILP for the program against the target, using
@@ -68,6 +105,14 @@ func Generate(u *lang.Unit, target *pisa.Target, bounds *unroll.Result) (*ILP, e
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
+	return generateInto(u, target, bounds, ilp.NewModel(u.Main.Name), nil)
+}
+
+// generateInto builds the unit's constraints into the given model —
+// its own in a single-unit compile, the shared joint model in a
+// multi-tenant one (where the model carries the tenant's name prefix
+// and shared collects the per-stage resource terms).
+func generateInto(u *lang.Unit, target *pisa.Target, bounds *unroll.Result, model *ilp.Model, shared *sharedRows) (*ILP, error) {
 	counts := dep.Counts{}
 	for sym, k := range bounds.LoopBound {
 		counts[sym] = k
@@ -78,7 +123,8 @@ func Generate(u *lang.Unit, target *pisa.Target, bounds *unroll.Result) (*ILP, e
 		Target: target,
 		Bounds: bounds,
 		Graph:  g,
-		Model:  ilp.NewModel(u.Main.Name),
+		Model:  model,
+		shared: shared,
 		d:      make(map[*lang.Symbolic][]ilp.Var),
 		cells:  make(map[*lang.Symbolic]ilp.Var),
 		free:   make(map[*lang.Symbolic]ilp.Var),
@@ -658,7 +704,12 @@ func (p *ILP) memoryConstraints() error {
 		for _, ri := range orderedInsts {
 			e.Add(p.mem[ri][s], 1)
 		}
-		if e.Len() > 0 {
+		if e.Len() == 0 {
+			continue
+		}
+		if p.shared != nil {
+			p.shared.mem[s].AddExpr(e, 1)
+		} else {
 			p.Model.AddConstr(fmt.Sprintf("mem-stage[%d]", s), e, ilp.LE, M)
 		}
 	}
@@ -708,6 +759,12 @@ func (p *ILP) aluConstraints() {
 				hash.Add(p.x[n.ID][s], float64(n.Hashes))
 			}
 		}
+		if p.shared != nil {
+			p.shared.hf[s].AddExpr(hf, 1)
+			p.shared.hl[s].AddExpr(hl, 1)
+			p.shared.hash[s].AddExpr(hash, 1)
+			continue
+		}
 		if hf.Len() > 0 {
 			p.Model.AddConstr(fmt.Sprintf("alu-f[%d]", s), hf, ilp.LE, float64(p.Target.StatefulALUs)) // #11
 		}
@@ -735,6 +792,14 @@ func (p *ILP) phvConstraint() error {
 		default:
 			e.Add(p.freeVarFor(sym), float64(f.Width))
 		}
+	}
+	if p.shared != nil {
+		// The joint PHV row (every tenant's elastic terms against the
+		// budget left after every tenant's fixed bits) is emitted once
+		// by GenerateJoint, which also rejects a fixed-bit overflow.
+		p.shared.phv.AddExpr(e, 1)
+		p.shared.fixedPHV += p.Unit.FixedPHVBits()
+		return nil
 	}
 	if e.Len() == 0 {
 		return nil
@@ -956,8 +1021,11 @@ func (p *ILP) assumeConstraints() error {
 	return nil
 }
 
-// objective sets the utility function (maximized). Without an optimize
-// declaration, the default utility is the sum of all symbolic values.
+// objective linearizes the utility function (maximized) and, in a
+// single-unit compile, installs it as the model objective. Without an
+// optimize declaration, the default utility is the sum of all symbolic
+// values. In a joint compile the utility is only stored: the joint
+// generator composes the fairness objective from the per-tenant terms.
 func (p *ILP) objective() error {
 	var util ilp.Expr
 	if p.Unit.Optimize != nil {
@@ -972,9 +1040,18 @@ func (p *ILP) objective() error {
 			util.AddExpr(p.symValueExpr(sym), 1)
 		}
 	}
-	p.Model.SetObjective(util, ilp.Maximize)
+	p.util = util
+	if p.shared == nil {
+		p.Model.SetObjective(util, ilp.Maximize)
+	}
 	return nil
 }
+
+// Utility returns the unit's linearized utility expression — the
+// objective of a single-unit compile, or this tenant's fairness term
+// in a joint one. The expression is the generator's own: callers must
+// treat it as read-only.
+func (p *ILP) Utility() ilp.Expr { return p.util }
 
 // SetStageWindowTightening toggles the stage-window presolve (used by
 // ablation benchmarks).

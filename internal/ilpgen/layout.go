@@ -111,6 +111,13 @@ func (p *ILP) extract(sol *ilp.Solution) (*Layout, error) {
 	if err := ilp.Verify(p.Model, sol.Values); err != nil {
 		return nil, fmt.Errorf("ilpgen: solution failed verification: %w", err)
 	}
+	return p.extractFrom(sol)
+}
+
+// extractFrom reads this unit's slice of an already-verified solution
+// back into a Layout. Joint compiles verify the shared model once and
+// then extract each tenant through here.
+func (p *ILP) extractFrom(sol *ilp.Solution) (*Layout, error) {
 	l := &Layout{
 		Target:    p.Target,
 		Symbolics: make(map[string]int64, len(p.Unit.Symbolics)),

@@ -290,6 +290,61 @@ func HierarchicalSketch(in Instance, levels int) (fragment, apply, utility strin
 	return Compose(frags...), strings.Join(applies, "\n        "), strings.Join(utils, " + ")
 }
 
+// CountingTable returns a FlowRadar-style encoded flowset: @_rows hash
+// rows of @_cells cells, where each cell accumulates the sum of flow
+// keys mapped into it plus a flow count and a packet count. Cells
+// holding a single flow decode exactly (flowsum / flowcnt recovers the
+// key); the controller peels them off-switch, FlowRadar fashion. The
+// language has no XOR operator, so the canonical FlowXOR field is
+// encoded additively — same single-flow decode, pure-increment
+// updates. Apply "@_record"; elastic parameters "@_rows" and
+// "@_cells".
+func CountingTable(in Instance) string {
+	return in.expand(`
+// --- counting table module instance "@" ---
+symbolic int @_rows;
+symbolic int @_cells;
+
+struct @_meta {
+    bit<32>[@_rows] index;
+    bit<WIDTH>[@_rows] pkts;
+    bit<WIDTH> total;
+}
+
+register<bit<32>>[@_cells][@_rows] @_flowsum;
+register<bit<WIDTH>>[@_cells][@_rows] @_flowcnt;
+register<bit<WIDTH>>[@_cells][@_rows] @_pktcnt;
+
+action @_encode()[int i] {
+    @_meta.index[i] = hash(KEY, i + SEED) % @_cells;
+    @_flowsum[i][@_meta.index[i]] = @_flowsum[i][@_meta.index[i]] + KEY;
+    @_flowcnt[i][@_meta.index[i]] = @_flowcnt[i][@_meta.index[i]] + 1;
+    @_pktcnt[i][@_meta.index[i]] = @_pktcnt[i][@_meta.index[i]] + 1;
+    @_meta.pkts[i] = @_pktcnt[i][@_meta.index[i]];
+}
+
+action @_tally()[int i] {
+    @_meta.total = @_meta.total + @_meta.pkts[i];
+}
+
+control @_record {
+    apply {
+        for (i < @_rows) {
+            @_encode()[i];
+        }
+        for (i < @_rows) {
+            @_tally()[i];
+        }
+    }
+}
+`)
+}
+
+// StandaloneCountingTable is a ready-to-compile counting table program.
+func StandaloneCountingTable() string {
+	return Standalone(CountingTable(Instance{Prefix: "ct", Key: "pkt.flow"}), "ct_record", "ct_rows * ct_cells")
+}
+
 // IDTable returns a Blink-style ID-indexed state table: a single
 // elastic register array indexed directly by an identifier field.
 // Apply "@_touch"; the elastic parameter is "@_size".

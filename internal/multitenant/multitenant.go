@@ -1,0 +1,362 @@
+// Package multitenant compiles K independent P4All programs — tenants
+// — into one jointly-optimized PISA pipeline. Each tenant keeps its
+// own source, its own utility, and its own namespace in the shared ILP
+// (internal/ilpgen.GenerateJoint); the tenants meet only in the
+// per-stage resource budget rows and a fairness objective over their
+// utilities. The result is the elastic answer to switch multi-tenancy:
+// instead of statically partitioning the pipeline, the compiler trades
+// memory, ALUs, and PHV bits between tenants by weight, re-solving the
+// joint model as weights drift (internal/elastic reuses the warm-start
+// pool here for sub-second reallocation).
+//
+// Isolation is checked, not assumed: every compile runs
+// check.ModelIsolation over the generated model and refuses to emit
+// layouts from a model where any structural constraint couples two
+// tenants.
+package multitenant
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"p4all/internal/check"
+	"p4all/internal/codegen"
+	"p4all/internal/ilp"
+	"p4all/internal/ilpgen"
+	"p4all/internal/lang"
+	"p4all/internal/obs"
+	"p4all/internal/pisa"
+	"p4all/internal/tv"
+	"p4all/internal/unroll"
+)
+
+// Unweighted is the Tenant.Weight sentinel for a true zero-weight
+// tenant: it is compiled and placed (its assumes and MinUtility still
+// hold) but contributes nothing to the objective — capacity is never
+// traded toward it. The zero value of Weight means the default
+// weight 1, so an explicit sentinel is needed to say "zero".
+const Unweighted = -1
+
+// Tenant is one program in a joint compile.
+type Tenant struct {
+	// Name namespaces the tenant in the joint model and in reports. It
+	// must be nonempty, unique, must not contain '/', and must not be
+	// the reserved scope "joint".
+	Name string
+	// Source is the tenant's complete P4All program.
+	Source string
+	// Weight is the tenant's share in the fairness objective. The zero
+	// value means the default weight 1; Unweighted (-1) means weight 0.
+	// Any other negative value is an error.
+	Weight float64
+	// MinUtility, when positive, adds a floor row: the tenant's
+	// utility must reach at least this value in any accepted layout.
+	MinUtility float64
+}
+
+// weight resolves the sentinel convention to the solver's weight.
+func (t Tenant) weight() (float64, error) {
+	switch {
+	case t.Weight == 0:
+		return 1, nil
+	case t.Weight == Unweighted:
+		return 0, nil
+	case t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0):
+		return 0, fmt.Errorf("multitenant: tenant %s weight %v is not positive (use multitenant.Unweighted for zero)", t.Name, t.Weight)
+	default:
+		return t.Weight, nil
+	}
+}
+
+// Options configures a joint compilation.
+type Options struct {
+	// Solver tunes the branch-and-bound search; zero-valued fields get
+	// the same defaults as a single-tenant compile (3% gap, 4000
+	// nodes, 90 seconds).
+	Solver ilp.Options
+	// MaxMin switches the objective from the weighted sum to max-min
+	// fairness over the weighted utilities (see ilpgen.Fairness).
+	MaxMin bool
+	// SkipCodegen stops after solving and isolation checking.
+	SkipCodegen bool
+	// Certify runs the translation validator per tenant and attaches
+	// each equivalence certificate. Implies code generation.
+	Certify bool
+	// Tracer receives per-phase spans. Nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Solver.Gap == 0 {
+		o.Solver.Gap = 0.03
+	} else if o.Solver.Gap < 0 {
+		o.Solver.Gap = 0
+	}
+	if o.Solver.NodeLimit == 0 {
+		o.Solver.NodeLimit = 4000
+	}
+	if o.Solver.TimeLimit == 0 {
+		o.Solver.TimeLimit = 90 * time.Second
+	}
+	return o
+}
+
+// Phases records per-phase wall time of a joint compile.
+type Phases struct {
+	Parse    time.Duration
+	Bounds   time.Duration
+	Generate time.Duration
+	Solve    time.Duration
+	Isolate  time.Duration
+	Codegen  time.Duration
+	Certify  time.Duration
+}
+
+// Total returns the end-to-end compile time.
+func (p Phases) Total() time.Duration {
+	return p.Parse + p.Bounds + p.Generate + p.Solve + p.Isolate + p.Codegen + p.Certify
+}
+
+// TenantResult is one tenant's slice of a completed joint compile.
+type TenantResult struct {
+	Name    string
+	Unit    *lang.Unit
+	ILP     *ilpgen.ILP
+	Layout  *ilpgen.Layout
+	Utility float64
+	// Concrete/P4 are the tenant's generated program (unless codegen
+	// was skipped). Each tenant is emitted independently: its P4
+	// mentions only its own registers, actions, and headers.
+	Concrete *codegen.Concrete
+	P4       string
+	Warnings []check.Warning
+	// Certificate is the tenant's translation-validation result
+	// (Options.Certify).
+	Certificate *tv.Certificate
+}
+
+// Result is a completed joint compilation.
+type Result struct {
+	Target  pisa.Target
+	Joint   *ilpgen.Joint
+	Layout  *ilpgen.JointLayout
+	Tenants []*TenantResult
+	Phases  Phases
+}
+
+// Tenant returns the named tenant's result, or nil.
+func (r *Result) Tenant(name string) *TenantResult {
+	for _, t := range r.Tenants {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Compile parses, jointly optimizes, isolation-checks, and (unless
+// skipped) emits all tenants against one target.
+func Compile(tenants []Tenant, target pisa.Target, opts Options) (*Result, error) {
+	return compile(tenants, target, opts, nil)
+}
+
+// compile is the shared implementation; start, when non-nil, seeds the
+// joint solve (the Compiler's warm pool path).
+func compile(tenants []Tenant, target pisa.Target, opts Options, start []float64) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("multitenant: no tenants")
+	}
+	root := opts.Tracer.StartSpan("multitenant.compile",
+		obs.String("target", target.Name),
+		obs.Int("tenants", len(tenants)))
+	defer root.End()
+
+	res := &Result{Target: target}
+	weights := make([]float64, len(tenants))
+	floors := make([]float64, len(tenants))
+	for i, t := range tenants {
+		w, err := t.weight()
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = w
+		floors[i] = t.MinUtility
+	}
+
+	// Front end, per tenant.
+	begin := time.Now()
+	sp := root.Child("parse")
+	units := make([]*lang.Unit, len(tenants))
+	for i, t := range tenants {
+		u, err := lang.ParseAndResolve(t.Source)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("multitenant: tenant %s: front end: %w", t.Name, err)
+		}
+		units[i] = u
+	}
+	sp.End()
+	res.Phases.Parse = time.Since(begin)
+
+	begin = time.Now()
+	sp = root.Child("bounds")
+	tus := make([]ilpgen.TenantUnit, len(tenants))
+	for i, t := range tenants {
+		bounds, err := unroll.UpperBounds(units[i], &target)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("multitenant: tenant %s: unroll bounds: %w", t.Name, err)
+		}
+		tus[i] = ilpgen.TenantUnit{Name: t.Name, Unit: units[i], Bounds: bounds}
+	}
+	sp.End()
+	res.Phases.Bounds = time.Since(begin)
+
+	begin = time.Now()
+	sp = root.Child("generate")
+	joint, err := ilpgen.GenerateJoint(tus, &res.Target)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	if err := joint.SetObjective(ilpgen.Fairness{
+		Weights:    weights,
+		MinUtility: floors,
+		MaxMin:     opts.MaxMin,
+	}); err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttrs(
+		obs.Int("ilp_vars", joint.Model.NumVars()),
+		obs.Int("ilp_constrs", joint.Model.NumConstrs()),
+	)
+	sp.End()
+	res.Joint = joint
+	res.Phases.Generate = time.Since(begin)
+
+	// The isolation audit runs before the solve: a mis-partitioned
+	// model taints every layout it could produce, so there is no point
+	// paying for the search first.
+	begin = time.Now()
+	sp = root.Child("isolate")
+	if vs := check.ModelIsolation(joint.Model, joint.Names); len(vs) > 0 {
+		sp.End()
+		return nil, fmt.Errorf("multitenant: model violates tenant isolation: %s (and %d more)", vs[0], len(vs)-1)
+	}
+	sp.End()
+	res.Phases.Isolate = time.Since(begin)
+
+	begin = time.Now()
+	solver := opts.Solver
+	solver.Start = start
+	sp = root.Child("solve",
+		obs.Int("ilp_vars", joint.Model.NumVars()),
+		obs.Int("ilp_constrs", joint.Model.NumConstrs()))
+	jl, err := joint.Solve(solver)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttrs(
+		obs.Int("bnb_nodes", jl.Stats.Nodes),
+		obs.Float("objective", jl.Objective),
+		obs.Bool("warm_started", jl.Stats.WarmStarted),
+	)
+	sp.End()
+	res.Layout = jl
+	res.Phases.Solve = time.Since(begin)
+
+	for i := range tenants {
+		tr := &TenantResult{
+			Name:     tenants[i].Name,
+			Unit:     units[i],
+			ILP:      joint.Tenants[i],
+			Layout:   jl.Tenants[i],
+			Utility:  jl.Utilities[i],
+			Warnings: check.Bounds(units[i]),
+		}
+		res.Tenants = append(res.Tenants, tr)
+	}
+
+	if !opts.SkipCodegen || opts.Certify {
+		begin = time.Now()
+		sp = root.Child("codegen")
+		for _, tr := range res.Tenants {
+			concrete, err := codegen.Build(tr.Unit, tr.Layout)
+			if err != nil {
+				sp.End()
+				return nil, fmt.Errorf("multitenant: tenant %s: code generation: %w", tr.Name, err)
+			}
+			tr.Concrete = concrete
+			tr.P4 = codegen.Render(concrete)
+		}
+		sp.End()
+		res.Phases.Codegen = time.Since(begin)
+	}
+
+	if opts.Certify {
+		begin = time.Now()
+		for _, tr := range res.Tenants {
+			tr.Certificate = tv.Validate(tr.Unit, tr.Layout, tr.Concrete, tv.Options{
+				Name:   tr.Name,
+				Tracer: opts.Tracer,
+			})
+		}
+		res.Phases.Certify = time.Since(begin)
+	}
+	return res, nil
+}
+
+// Compiler is a stateful joint compiler with a warm-start pool: for
+// each tenant mix it remembers the last joint solution and seeds the
+// next re-solve of the same mix with it. Re-solves after a weight or
+// floor change — the elastic reallocation path — then typically finish
+// at the root node. Safe for concurrent use.
+type Compiler struct {
+	Target pisa.Target
+	Opts   Options
+
+	mu   sync.Mutex
+	pool map[string][]float64
+}
+
+// NewCompiler returns a Compiler for the target.
+func NewCompiler(target pisa.Target, opts Options) *Compiler {
+	return &Compiler{Target: target, Opts: opts, pool: make(map[string][]float64)}
+}
+
+// mixKey identifies a tenant mix up to model identity: the model's
+// variables (and so warm-start alignment) are determined by the
+// ordered tenant names and sources, the target, and the MaxMin flag
+// (which adds a variable). Weights and floors do not enter: they only
+// perturb the objective and add rows, which a warm start survives.
+func (c *Compiler) mixKey(tenants []Tenant) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "target=%s/%d/%d\nmaxmin=%v\n", c.Target.Name, c.Target.Stages, c.Target.MemoryBits, c.Opts.MaxMin)
+	for _, t := range tenants {
+		fmt.Fprintf(h, "tenant=%s\nlen=%d\n%s\n", t.Name, len(t.Source), t.Source)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Compile jointly compiles the mix, seeding the solve from the pool
+// when the same mix was compiled before and banking the new solution.
+func (c *Compiler) Compile(tenants []Tenant) (*Result, error) {
+	key := c.mixKey(tenants)
+	c.mu.Lock()
+	start := c.pool[key]
+	c.mu.Unlock()
+	res, err := compile(tenants, c.Target, c.Opts, start)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.pool[key] = res.Layout.Values
+	c.mu.Unlock()
+	return res, nil
+}

@@ -1,0 +1,240 @@
+package multitenant
+
+import (
+	"testing"
+	"time"
+
+	"p4all/internal/apps"
+	"p4all/internal/modules"
+	"p4all/internal/pisa"
+)
+
+// mtTarget is sized so the acceptance mix fits but contends: three
+// tenants' floors are satisfiable with memory left over to trade.
+func mtTarget() pisa.Target {
+	return pisa.Target{
+		Name: "mt-test", Stages: 8, MemoryBits: 1 << 18,
+		StatefulALUs: 8, StatelessALUs: 64, PHVBits: 16 * 1024,
+	}
+}
+
+func smallMix() []Tenant {
+	return []Tenant{
+		{Name: "alpha", Source: modules.StandaloneCMS()},
+		{Name: "beta", Source: modules.StandaloneKVS()},
+	}
+}
+
+// fastOpts bounds the search for tests whose assertions hold for any
+// feasible incumbent (floors and assumes are hard constraints).
+func fastOpts() Options {
+	var o Options
+	o.SkipCodegen = true
+	o.Solver.NodeLimit = 500
+	o.Solver.TimeLimit = 20 * time.Second
+	return o
+}
+
+// TestCompileTwoTenants: the basic joint pipeline end to end, codegen
+// included — each tenant gets its own P4 program mentioning only its
+// own registers.
+func TestCompileTwoTenants(t *testing.T) {
+	mix := smallMix()
+	// Identical-slope linear utilities tie at corners; the floors force
+	// a genuinely shared pipeline.
+	mix[0].MinUtility = 2048
+	mix[1].MinUtility = 2048
+	res, err := Compile(mix, mtTarget(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("got %d tenant results", len(res.Tenants))
+	}
+	a, b := res.Tenant("alpha"), res.Tenant("beta")
+	if a == nil || b == nil {
+		t.Fatal("missing tenant result")
+	}
+	if a.P4 == "" || b.P4 == "" {
+		t.Fatal("codegen skipped unexpectedly")
+	}
+	if a.Layout.Symbolic("cms_rows") < 1 {
+		t.Errorf("alpha cms_rows = %d", a.Layout.Symbolic("cms_rows"))
+	}
+	if b.Layout.Symbolic("kv_parts") < 1 {
+		t.Errorf("beta kv_parts = %d", b.Layout.Symbolic("kv_parts"))
+	}
+}
+
+// TestCompileAcceptanceMix is the PR's acceptance scenario: NetCache,
+// SketchLearn, and the new FlowRadar module mix compile into one
+// layout with every tenant's assume floor honored.
+func TestCompileAcceptanceMix(t *testing.T) {
+	mix := []Tenant{
+		{Name: "netcache", Source: apps.NetCache(apps.NetCacheConfig{}).Source},
+		{Name: "sketchlearn", Source: apps.SketchLearn().Source},
+		{Name: "flowradar", Source: apps.FlowRadar().Source},
+	}
+	opts := fastOpts()
+	opts.Solver.NodeLimit = 1500
+	opts.Solver.TimeLimit = 120 * time.Second
+	res, err := Compile(mix, pisa.EvalTarget(pisa.Mb), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := res.Tenant("netcache").Layout
+	if nc.Symbolic("cms_rows") < 2 || nc.Symbolic("kv_slots") < 1024 {
+		t.Errorf("netcache floors: rows=%d slots=%d", nc.Symbolic("cms_rows"), nc.Symbolic("kv_slots"))
+	}
+	sl := res.Tenant("sketchlearn").Layout
+	for l := 0; l < 4; l++ {
+		name := "lv" + string(rune('0'+l)) + "_rows"
+		if sl.Symbolic(name) < 1 {
+			t.Errorf("sketchlearn %s = %d", name, sl.Symbolic(name))
+		}
+	}
+	fr := res.Tenant("flowradar").Layout
+	if fr.Symbolic("fr_ct_rows") < 1 || fr.Symbolic("fr_bf_bits") < 1024 {
+		t.Errorf("flowradar floors: ct_rows=%d bf_bits=%d", fr.Symbolic("fr_ct_rows"), fr.Symbolic("fr_bf_bits"))
+	}
+	// The joint layout respects the physical budgets tenant-summed, to
+	// within the solver's relative feasibility tolerance (1e-6 of the
+	// budget — about one bit per megabit stage; see JointLayout.Stages).
+	slack := int64(res.Target.MemoryBits)/1_000_000 + 1
+	for s, use := range res.Layout.Stages {
+		if use.MemoryBits > int64(res.Target.MemoryBits)+slack {
+			t.Errorf("stage %d over memory: %d (budget %d + slack %d)", s, use.MemoryBits, res.Target.MemoryBits, slack)
+		}
+	}
+	for _, tr := range res.Tenants {
+		if tr.Utility <= 0 {
+			t.Errorf("tenant %s utility %g", tr.Name, tr.Utility)
+		}
+	}
+}
+
+// TestCompileCertifies: per-tenant translation validation proves each
+// tenant's emitted program equivalent to its source at the allocated
+// sizes.
+func TestCompileCertifies(t *testing.T) {
+	res, err := Compile(smallMix(), mtTarget(), Options{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Certificate == nil {
+			t.Fatalf("tenant %s: no certificate", tr.Name)
+		}
+		if !tr.Certificate.Proved() {
+			t.Errorf("tenant %s: verdict %s", tr.Name, tr.Certificate.Verdict)
+		}
+	}
+}
+
+// TestCompileRejectsBadTenants: duplicate and reserved names, and
+// negative non-sentinel weights, fail loudly before any solving.
+func TestCompileRejectsBadTenants(t *testing.T) {
+	tgt := mtTarget()
+	cases := map[string][]Tenant{
+		"duplicate name": {
+			{Name: "a", Source: modules.StandaloneCMS()},
+			{Name: "a", Source: modules.StandaloneKVS()},
+		},
+		"reserved name": {{Name: "joint", Source: modules.StandaloneCMS()}},
+		"slash in name": {{Name: "a/b", Source: modules.StandaloneCMS()}},
+		"bad weight":    {{Name: "a", Source: modules.StandaloneCMS(), Weight: -0.5}},
+		"empty mix":     {},
+	}
+	for label, mix := range cases {
+		if _, err := Compile(mix, tgt, Options{SkipCodegen: true}); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+// TestReweightGrowsFavoredTenant: the drift scenario — same mix, new
+// weights — strictly grows the newly-favored tenant through the
+// Compiler's warm path.
+func TestReweightGrowsFavoredTenant(t *testing.T) {
+	tgt := pisa.Target{
+		Name: "mt-tight", Stages: 6, MemoryBits: 64 * 1024,
+		StatefulALUs: 6, StatelessALUs: 32, PHVBits: 8 * 1024,
+	}
+	c := NewCompiler(tgt, Options{SkipCodegen: true})
+	mix := func(wa, wb float64) []Tenant {
+		return []Tenant{
+			{Name: "a", Source: modules.StandaloneCMS(), Weight: wa},
+			{Name: "b", Source: modules.StandaloneCountingTable(), Weight: wb},
+		}
+	}
+	before, err := c.Compile(mix(1, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Compile(mix(0.25, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Tenant("b").Utility <= before.Tenant("b").Utility {
+		t.Errorf("favored tenant b did not grow: %g -> %g",
+			before.Tenant("b").Utility, after.Tenant("b").Utility)
+	}
+}
+
+// TestWarmResolveSubSecond pins the elastic-reallocation latency: the
+// second compile of the same mix (reweighted) must complete in under a
+// second, riding the warm-start pool. The budget is generous against
+// CI noise; BenchmarkMultiTenantResolve tracks the real number.
+func TestWarmResolveSubSecond(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c := NewCompiler(mtTarget(), Options{SkipCodegen: true})
+	mix := func(w float64) []Tenant {
+		ts := smallMix()
+		ts[1].Weight = w
+		return ts
+	}
+	if _, err := c.Compile(mix(1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Compile(mix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("warm re-solve took %v, want < 1s", d)
+	}
+}
+
+// TestUnweightedTenant: the Unweighted sentinel compiles the tenant
+// without objective stake — and does not reject it.
+func TestUnweightedTenant(t *testing.T) {
+	mix := smallMix()
+	mix[1].Weight = Unweighted
+	mix[1].MinUtility = 2048
+	res, err := Compile(mix, mtTarget(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Tenant("beta").Utility; u < 2048-1e-6 {
+		t.Errorf("unweighted tenant below its floor: %g", u)
+	}
+}
+
+// TestMaxMinCompile: the max-min mode runs through the full package
+// path (distinct model shape: the extra z variable must not poison
+// the pool of non-maxmin runs).
+func TestMaxMinCompile(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxMin = true
+	res, err := Compile(smallMix(), mtTarget(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Utility <= 0 {
+			t.Errorf("max-min starved tenant %s: %g", tr.Name, tr.Utility)
+		}
+	}
+}
