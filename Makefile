@@ -11,9 +11,10 @@ GO        ?= go
 # additionally held to >=1.5x the plan's speed within the same run),
 # the sharded serving runtime (gated on allocs/op — its hot loop is
 # pinned at zero), the translation validator (gated on ns/op — a
-# path-count blowup shows up here), the multi-tenant warm re-solve
-# (nudge variant gated on ns/op — the sub-second elastic-reallocation
-# claim; the flip variant is reported only), plus the Figure 9 and
+# path-count blowup shows up here), the multi-tenant warm re-solves
+# (both the nudge and the harder flip variant gated on ns/op and
+# allocs/op — the sub-second elastic-reallocation claim and the
+# solver's node-throughput work ride on them), plus the Figure 9 and
 # drift end-to-end benchmarks (reported, never gated — see
 # cmd/benchgate).
 BENCH     ?= ILPSolve|Figure9UnrollBound|FigureDrift|SimProcess|SimReplay|SimReplayVM|ServeScaling|Certify|MultiTenantResolve
@@ -22,7 +23,8 @@ COUNT     ?= 6
 BASELINE  ?= BENCH_BASELINE.json
 
 .PHONY: build test race lint check bench bench-baseline bench-gate \
-	difftest difftest-vm fuzz-smoke serve-smoke certify multitenant
+	bench-profile difftest difftest-vm fuzz-smoke serve-smoke certify \
+	multitenant
 
 # Per-target budget for the CI fuzz smoke (see docs/DIFFTEST.md). Four
 # targets at 22s each keep the job's total fuzz budget where it was
@@ -69,6 +71,16 @@ bench-gate:
 # compares against were produced on comparable hardware.
 bench-baseline:
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem ./... | $(GO) run ./cmd/benchgate -baseline $(BASELINE) -write
+
+# bench-profile captures a pprof CPU profile of the headline solver
+# benchmarks (the multi-tenant warm re-solves — the models where node
+# throughput dominates). CI uploads the profile plus the test binary
+# as an artifact so a bench-gate failure can be diagnosed offline:
+#   go tool pprof ilp-bench.test ilp-cpu.prof
+# (see docs/SOLVER_PERF.md).
+bench-profile:
+	$(GO) test -run=NONE -bench=MultiTenantResolve -benchtime=1x -benchmem \
+		-cpuprofile=ilp-cpu.prof -o ilp-bench.test ./internal/multitenant/
 
 # difftest runs the full differential-testing matrix offline: six
 # oracles x four apps x three budgets (see docs/DIFFTEST.md).

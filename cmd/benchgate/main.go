@@ -14,11 +14,15 @@
 //
 // When the input carries allocs/op columns (run with -benchmem), a
 // second gate applies: any benchmark matching -allocgate whose worst
-// repetition allocates more than its baseline fails immediately — no
-// ratio, no averaging, because the sim plan engine's replay steady
-// state and the sharded serving runtime's per-shard hot loop are both
-// pinned at exactly zero allocations and a single new allocation is a
-// real regression.
+// repetition allocates more than its baseline allows fails. A
+// zero-alloc baseline allows exactly zero — the sim plan engine's
+// replay steady state and the sharded serving runtime's per-shard hot
+// loop are pinned there and a single new allocation is a real
+// regression. A nonzero baseline gets -allocslack relative headroom:
+// the solver benchmarks allocate in proportion to search effort, and
+// a few hundred extra allocations from a slightly different tree is
+// noise, while a structural regression (cloning bounds per node again)
+// multiplies the count and still trips the gate.
 //
 // A third gate is cross-engine and entirely within the fresh run: for
 // every BenchmarkSimReplayVM/<app>, the closure plan's geomean ns/op
@@ -154,8 +158,9 @@ func summarizeMax(samples map[string][]float64) map[string]float64 {
 
 // compareAllocs checks every gated benchmark present in both maps for
 // an allocation increase and prints violations; returns how many
-// benchmarks it checked and how many regressed.
-func compareAllocs(w io.Writer, base, fresh map[string]float64, gate *regexp.Regexp) (checked, regressed int) {
+// benchmarks it checked and how many regressed. A zero baseline allows
+// zero; a nonzero baseline allows `base * (1 + slack)`.
+func compareAllocs(w io.Writer, base, fresh map[string]float64, gate *regexp.Regexp, slack float64) (checked, regressed int) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if gate.MatchString(name) {
@@ -169,9 +174,9 @@ func compareAllocs(w io.Writer, base, fresh map[string]float64, gate *regexp.Reg
 			continue
 		}
 		checked++
-		if now > base[name] {
+		if allowed := base[name] * (1 + slack); now > allowed {
 			regressed++
-			fmt.Fprintf(w, "ALLOC REGRESSION %s: %.0f allocs/op, baseline %.0f\n", name, now, base[name])
+			fmt.Fprintf(w, "ALLOC REGRESSION %s: %.0f allocs/op, baseline %.0f (allowed %.0f)\n", name, now, base[name], allowed)
 		}
 	}
 	return checked, regressed
@@ -255,8 +260,9 @@ func main() {
 	write := flag.Bool("write", false, "record stdin as the new baseline instead of comparing")
 	text := flag.Bool("text", false, "dump the baseline's raw benchmark lines (benchstat input) and exit")
 	threshold := flag.Float64("threshold", 1.25, "fail when geomean(new/old) over gated benchmarks exceeds this")
-	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkCertify|^BenchmarkMultiTenantResolve/nudge`, "regexp selecting the benchmarks that can fail the ns/op gate")
-	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkServeScaling`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
+	gatePat := flag.String("gate", `^BenchmarkILPSolve|^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkCertify|^BenchmarkMultiTenantResolve/`, "regexp selecting the benchmarks that can fail the ns/op gate")
+	allocGatePat := flag.String("allocgate", `^BenchmarkSimReplay/.*engine=plan|^BenchmarkSimReplayVM/|^BenchmarkServeScaling|^BenchmarkMultiTenantResolve/`, "regexp selecting the benchmarks whose allocs/op may not increase over baseline")
+	allocSlack := flag.Float64("allocslack", 0.10, "relative allocs/op headroom for nonzero baselines (zero baselines always allow exactly zero)")
 	vmRatio := flag.Float64("vmratio", 1.5, "fail when BenchmarkSimReplayVM/<app> is below this multiple of the same run's plan-engine speed (0 disables)")
 	flag.Parse()
 
@@ -324,7 +330,7 @@ func main() {
 	// The alloc gate only applies where both sides carry the data:
 	// baselines recorded before -benchmem, or runs without it, skip it.
 	if len(base.AllocsPerOp) > 0 && len(allocSamples) > 0 {
-		checked, regressed := compareAllocs(os.Stdout, base.AllocsPerOp, summarizeMax(allocSamples), allocGate)
+		checked, regressed := compareAllocs(os.Stdout, base.AllocsPerOp, summarizeMax(allocSamples), allocGate, *allocSlack)
 		fmt.Printf("alloc gate %q: %d benchmarks checked, %d regressed\n", *allocGatePat, checked, regressed)
 		if regressed > 0 {
 			failed = true

@@ -72,7 +72,7 @@ func TestCompareAllocsFlagsOnlyGatedIncreases(t *testing.T) {
 	}
 	gate := regexp.MustCompile(`^BenchmarkSimReplay/.*engine=plan`)
 	var buf strings.Builder
-	checked, regressed := compareAllocs(&buf, base, fresh, gate)
+	checked, regressed := compareAllocs(&buf, base, fresh, gate, 0.10)
 	if checked != 2 || regressed != 1 {
 		t.Fatalf("checked=%d regressed=%d, want 2/1", checked, regressed)
 	}
@@ -81,6 +81,31 @@ func TestCompareAllocsFlagsOnlyGatedIncreases(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "interp") {
 		t.Fatalf("ungated benchmark flagged:\n%s", buf.String())
+	}
+}
+
+func TestCompareAllocsSlackOnlyForNonzeroBaselines(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkMultiTenantResolve/flip":  20000,
+		"BenchmarkMultiTenantResolve/nudge": 20000,
+		"BenchmarkServeScaling/shards=1":    0,
+	}
+	fresh := map[string]float64{
+		"BenchmarkMultiTenantResolve/flip":  21900, // +9.5%: inside slack
+		"BenchmarkMultiTenantResolve/nudge": 22100, // +10.5%: regression
+		"BenchmarkServeScaling/shards=1":    1,     // zero-pinned: regression
+	}
+	gate := regexp.MustCompile(`^BenchmarkMultiTenantResolve/|^BenchmarkServeScaling`)
+	var buf strings.Builder
+	checked, regressed := compareAllocs(&buf, base, fresh, gate, 0.10)
+	if checked != 3 || regressed != 2 {
+		t.Fatalf("checked=%d regressed=%d, want 3/2:\n%s", checked, regressed, buf.String())
+	}
+	if strings.Contains(buf.String(), "flip") {
+		t.Fatalf("within-slack benchmark flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "nudge") || !strings.Contains(buf.String(), "ServeScaling") {
+		t.Fatalf("regressions not named:\n%s", buf.String())
 	}
 }
 

@@ -49,6 +49,7 @@ func main() {
 		timeFlag    = flag.Duration("timeout", 0, "solver time limit (default 90s)")
 		threadsFlag = flag.Int("threads", 0, "branch-and-bound workers (0: all cores)")
 		detFlag     = flag.Bool("det", false, "deterministic parallel search (reproducible layouts at some speed cost)")
+		preFlag     = flag.Bool("presolve", true, "root presolve: bound tightening, fixed-variable substitution, redundant-row elimination")
 		appFlag     = flag.String("app", "", "compile built-in benchmark apps (netcache, sketchlearn, precision, conquest, flowradar) instead of source files; a comma-separated list compiles jointly")
 		traceFlag   = flag.String("trace", "", "write a JSONL pipeline trace to this file (see docs/OBSERVABILITY.md)")
 		summaryFlag = flag.Bool("summary", false, "print an observability summary table to stderr")
@@ -96,6 +97,7 @@ func main() {
 	}
 	solver.Threads = *threadsFlag
 	solver.Deterministic = *detFlag
+	solver.DisablePresolve = !*preFlag
 
 	if len(tenants) > 1 {
 		if err := applyFairnessFlags(tenants, *weightsFlag, *minutilFlag); err != nil {
@@ -145,8 +147,15 @@ func main() {
 	if *statsFlag {
 		fmt.Fprintf(os.Stderr, "phases: parse=%v bounds=%v ilpgen=%v solve=%v codegen=%v (total %v)\n",
 			res.Phases.Parse, res.Phases.Bounds, res.Phases.Generate, res.Phases.Solve, res.Phases.Codegen, res.Phases.Total())
+		st := res.Layout.Stats
 		fmt.Fprintf(os.Stderr, "ILP: %d variables, %d constraints, %d nodes, certified gap %.2f%%\n",
-			res.Layout.Stats.Vars, res.Layout.Stats.Constrs, res.Layout.Stats.Nodes, 100*res.Layout.Stats.Gap)
+			st.Vars, st.Constrs, st.Nodes, 100*st.Gap)
+		fmt.Fprintf(os.Stderr, "solver: %d simplex iters (%d dual, %d primal fallbacks), %d refactorizations\n",
+			st.SimplexIter, st.DualIters, st.PrimalFallbacks, st.Refactors)
+		if pre := st.Presolve; pre.RowsDropped+pre.BoundsTightened+pre.VarsFixed > 0 {
+			fmt.Fprintf(os.Stderr, "presolve: %d bounds tightened, %d variables fixed, %d rows dropped\n",
+				pre.BoundsTightened, pre.VarsFixed, pre.RowsDropped)
+		}
 	}
 	if *certifyFlag {
 		cert := res.Certificate

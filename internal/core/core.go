@@ -210,12 +210,26 @@ func compileUnit(u *lang.Unit, target pisa.Target, opts Options, root *obs.Span)
 	sp.SetAttrs(
 		obs.Int("bnb_nodes", layout.Stats.Nodes),
 		obs.Int("simplex_iters", layout.Stats.SimplexIter),
+		obs.Int("dual_iters", layout.Stats.DualIters),
+		obs.Int("primal_fallbacks", layout.Stats.PrimalFallbacks),
 		obs.Int("refactorizations", layout.Stats.Refactors),
+		obs.Int("presolve_rows_dropped", layout.Stats.Presolve.RowsDropped),
+		obs.Int("presolve_bounds_tightened", layout.Stats.Presolve.BoundsTightened),
+		obs.Int("presolve_vars_fixed", layout.Stats.Presolve.VarsFixed),
 		obs.Float("objective", layout.Objective),
 		obs.Float("gap", layout.Stats.Gap),
 		obs.Int("threads", layout.Stats.Threads),
 		obs.Bool("deterministic", opts.Solver.Deterministic),
 	)
+	// Solver fast-path health counters, accumulated across every solve
+	// this tracer observes: dual pivots vs. fallbacks tell whether the
+	// basis-inheritance machinery is earning its keep, and the presolve
+	// counters track how much of the model the root reductions removed.
+	opts.Tracer.Counter("solver.dual_iters").Add(int64(layout.Stats.DualIters))
+	opts.Tracer.Counter("solver.primal_fallbacks").Add(int64(layout.Stats.PrimalFallbacks))
+	opts.Tracer.Counter("solver.presolve_rows_dropped").Add(int64(layout.Stats.Presolve.RowsDropped))
+	opts.Tracer.Counter("solver.presolve_bounds_tightened").Add(int64(layout.Stats.Presolve.BoundsTightened))
+	opts.Tracer.Counter("solver.presolve_vars_fixed").Add(int64(layout.Stats.Presolve.VarsFixed))
 	// Per-worker effort tallies: one counter pair per branch-and-bound
 	// worker, accumulated across every solve this tracer observes, plus
 	// a per-solve span event recording this solve's split.

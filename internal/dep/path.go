@@ -24,14 +24,6 @@ func (g *Graph) LongestSimplePath() int {
 	return g.estimateLongestPath()
 }
 
-// neighbors returns the nodes reachable in one path step from a.
-func (g *Graph) neighbors(a int) []int {
-	out := make([]int, 0, len(g.Prec[a])+len(g.Excl[a]))
-	out = append(out, g.Prec[a]...)
-	out = append(out, g.Excl[a]...)
-	return out
-}
-
 func (g *Graph) exactLongestPath() int {
 	n := len(g.Nodes)
 	visited := make([]bool, n)
@@ -42,7 +34,22 @@ func (g *Graph) exactLongestPath() int {
 	// sound substitute — see the package comment).
 	const dfsBudget = 200000
 	steps := 0
+	// The DFS runs on every compile (unroll bound derivation), so it
+	// must not allocate per visit: the two edge lists are walked in
+	// place, and the remaining-node prune is a counter maintained
+	// across marks instead of an O(n) rescan per step.
+	unvisited := n
 	var dfs func(at, length int)
+	visit := func(nb, length int) {
+		if visited[nb] {
+			return
+		}
+		visited[nb] = true
+		unvisited--
+		dfs(nb, length+1)
+		visited[nb] = false
+		unvisited++
+	}
 	dfs = func(at, length int) {
 		steps++
 		if length > best {
@@ -52,22 +59,17 @@ func (g *Graph) exactLongestPath() int {
 			return
 		}
 		// Prune: even visiting every remaining node cannot beat best.
-		remaining := 0
-		for _, v := range visited {
-			if !v {
-				remaining++
-			}
-		}
-		if length+remaining <= best {
+		if length+unvisited <= best {
 			return
 		}
-		for _, nb := range g.neighbors(at) {
-			if visited[nb] {
-				continue
+		for _, nb := range g.Prec[at] {
+			visit(nb, length)
+			if best == n || steps > dfsBudget {
+				return
 			}
-			visited[nb] = true
-			dfs(nb, length+1)
-			visited[nb] = false
+		}
+		for _, nb := range g.Excl[at] {
+			visit(nb, length)
 			if best == n || steps > dfsBudget {
 				return
 			}
@@ -75,8 +77,10 @@ func (g *Graph) exactLongestPath() int {
 	}
 	for start := 0; start < n; start++ {
 		visited[start] = true
+		unvisited--
 		dfs(start, 1)
 		visited[start] = false
+		unvisited++
 		if best == n || steps > dfsBudget {
 			break
 		}

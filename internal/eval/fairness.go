@@ -23,15 +23,18 @@ type FairnessConfig struct {
 	// disfavored tenant is squeezed, not evicted, at the sweep's edges.
 	MinUtility float64
 	// NodeLimit and TimeLimit bound each point's joint solve (defaults
-	// 1000 nodes, 15 seconds). The figure reads allocations off the
-	// incumbent, not the optimality certificate — proving the gap under
-	// utility floors is the branch-and-bound worst case and can take
-	// minutes per point without changing a single allocation.
+	// 100000 nodes, 30 seconds). These are backstops, not the figure's
+	// operating regime: with dual-simplex node re-solves every point of
+	// the default sweep certifies its gap well inside them, and a point
+	// that does hit a limit reports the (sound, larger) gap it proved.
 	NodeLimit int
 	TimeLimit time.Duration
 	// Gap is the relative optimality gap each point accepts (default
-	// 0.1). The sweep's claim is about how allocation follows weight,
-	// not about the last few percent of objective.
+	// 0.01). Monotonicity of allocation in weight only holds for
+	// near-exact optima — a loose gap lets one point stop on a worse
+	// incumbent than its neighbor and the figure's claim inverts. The
+	// dual-simplex node re-solves make a 1% certificate cheap enough
+	// to keep every point in seconds.
 	Gap float64
 }
 
@@ -46,13 +49,13 @@ func (c FairnessConfig) withDefaults() FairnessConfig {
 		c.MinUtility = 2048
 	}
 	if c.NodeLimit == 0 {
-		c.NodeLimit = 1000
+		c.NodeLimit = 100000
 	}
 	if c.TimeLimit == 0 {
-		c.TimeLimit = 15 * time.Second
+		c.TimeLimit = 30 * time.Second
 	}
 	if c.Gap == 0 {
-		c.Gap = 0.1
+		c.Gap = 0.01
 	}
 	return c
 }

@@ -58,6 +58,17 @@ type Options struct {
 	// Re-solves of a perturbed model seeded from the previous solution
 	// prune most of the tree and are typically near-instant.
 	Start []float64
+	// DisablePresolve turns off the root presolve (fixpoint bound
+	// tightening from constraint activity, integer bound rounding,
+	// fixed-variable substitution, redundant-row drops — see
+	// presolve.go). Ablations and tests; reductions achieved are
+	// reported in Solution.Presolve.
+	DisablePresolve bool
+	// DisableDual turns off dual-simplex child re-solves from inherited
+	// bases (dual.go): every node then re-solves with the two-phase
+	// primal path, as the solver did before the dual driver existed.
+	// Ablations and tests.
+	DisableDual bool
 	// Progress, when non-nil, receives search snapshots: the root
 	// relaxation, every incumbent improvement, a heartbeat every
 	// ProgressEvery nodes, and the terminal state. A nil hook costs
@@ -105,10 +116,16 @@ type WorkerCounts struct {
 	// Nodes is the number of subproblems this worker processed.
 	Nodes int
 	// SimplexIters is the simplex iteration count across this worker's
-	// LP solves.
+	// LP solves (primal and dual together).
 	SimplexIters int
 	// Refactorizations is this worker's basis refactorization count.
 	Refactorizations int
+	// DualIters is the subset of SimplexIters spent in dual-simplex
+	// child re-solves.
+	DualIters int
+	// PrimalFallbacks counts this worker's dual re-solves abandoned to
+	// the primal path.
+	PrimalFallbacks int
 }
 
 // Progress is one snapshot of the branch-and-bound search, delivered
@@ -150,13 +167,24 @@ const (
 	plungeLimit = 256
 )
 
-// node is one branch-and-bound subproblem.
+// node is one branch-and-bound subproblem, represented as an O(1)
+// delta against its parent: the branched variable and its narrowed
+// bound pair. Full bound vectors are materialized into a per-worker
+// scratch (lpWorkspace.nodeLo/nodeHi) only when the node's LP is
+// solved, so opening a child costs one small struct instead of two
+// bound-vector clones.
 type node struct {
-	id     int64 // queue insertion order; breaks bound ties deterministically
-	lo, hi []float64
-	bound  float64 // LP relaxation objective (min sense)
-	depth  int
-	hint   []float64 // parent LP solution warm-starting this node
+	id       int64 // queue insertion order; breaks bound ties deterministically
+	parent   *node
+	bvar     int     // variable this node's delta narrows (-1 at the root)
+	blo, bhi float64 // the narrowed bound pair for bvar
+	bound    float64 // LP relaxation objective (min sense)
+	depth    int
+	hint     []float64 // parent LP solution warm-starting this node
+	// snap is the parent's optimal basis (shared with the sibling); the
+	// dual re-solver starts from it. Nil when the parent's basis was
+	// not inheritable (artificials basic) or dual re-solves are off.
+	snap *basisSnapshot
 }
 
 type nodeQueue []*node
@@ -187,12 +215,20 @@ type workerTally struct {
 	nodes     atomic.Int64
 	iters     atomic.Int64
 	refactors atomic.Int64
-	_         [5]int64
+	dual      atomic.Int64
+	fallbacks atomic.Int64
+	_         [3]int64
 }
 
 func (t *workerTally) addCounts(c lpCounts) {
 	t.iters.Add(int64(c.iters))
 	t.refactors.Add(int64(c.refactors))
+	if c.dual != 0 {
+		t.dual.Add(int64(c.dual))
+	}
+	if c.fallbacks != 0 {
+		t.fallbacks.Add(int64(c.fallbacks))
+	}
 }
 
 // bb is the shared state of one Solve invocation. The single-threaded
@@ -236,10 +272,11 @@ type bb struct {
 // optimality, fanned out over Options.Threads workers. The returned
 // Solution reports values and objective in the model's own sense.
 func Solve(m *Model, opts Options) (*Solution, error) {
-	sf, err := lowerModel(m)
+	sf, err := lowerModel(m, !opts.DisablePresolve)
 	if err != nil {
 		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr // trivially infeasible is a result, not a failure
 	}
+	sf.dualOK = !opts.DisableDual
 	b := &bb{sf: sf, opts: opts, sign: 1, bestObj: math.Inf(1)}
 	b.cond = sync.NewCond(&b.mu)
 	b.bestBits.Store(math.Float64bits(b.bestObj))
@@ -311,7 +348,7 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	// worker 0's workspace is seeded here.
 	ws := newWorkspace(sf)
 	lo, hi := sf.cloneBounds()
-	st, obj, x, counts, err := solveLP(sf, lo, hi, b.iterLimit, nil, ws)
+	st, obj, x, counts, err := solveLP(sf, lo, hi, b.iterLimit, nil, nil, ws)
 	b.tallies[0].addCounts(counts)
 	b.nodesDone.Store(1)
 	b.tallies[0].nodes.Store(1)
@@ -335,6 +372,14 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	if !hasInt || integral(sf, x) {
 		b.install(obj, x)
 		return b.solution(StatusOptimal), nil
+	}
+	// Capture the root basis now, while the workspace still holds it
+	// (the dive below reuses the workspace): the root node re-solves
+	// from its own basis in zero pivots when popped, and the dive's
+	// first fix rides a dual re-solve of it.
+	var rootSnap *basisSnapshot
+	if sf.dualOK {
+		rootSnap = ws.captureBasis(sf)
 	}
 	b.emitLocked(ProgressRoot)
 
@@ -363,7 +408,7 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		}
 		b.tallies[0].addCounts(total)
 	}
-	heap.Push(&b.queue, &node{id: b.nextID, lo: lo, hi: hi, bound: obj, depth: 0, hint: x})
+	heap.Push(&b.queue, &node{id: b.nextID, bvar: -1, bound: obj, depth: 0, hint: x, snap: rootSnap})
 	b.nextID++
 	if b.bestX != nil {
 		if diveImproved || !b.warmUsed {
@@ -416,6 +461,15 @@ func (b *bb) totals() (iters, refactors int) {
 	return iters, refactors
 }
 
+// dualTotals sums the dual-path tallies across workers.
+func (b *bb) dualTotals() (dual, fallbacks int) {
+	for i := range b.tallies {
+		dual += int(b.tallies[i].dual.Load())
+		fallbacks += int(b.tallies[i].fallbacks.Load())
+	}
+	return dual, fallbacks
+}
+
 // workerSnapshot copies the per-worker tallies.
 func (b *bb) workerSnapshot() []WorkerCounts {
 	ws := make([]WorkerCounts, len(b.tallies))
@@ -424,6 +478,8 @@ func (b *bb) workerSnapshot() []WorkerCounts {
 			Nodes:            int(b.tallies[i].nodes.Load()),
 			SimplexIters:     int(b.tallies[i].iters.Load()),
 			Refactorizations: int(b.tallies[i].refactors.Load()),
+			DualIters:        int(b.tallies[i].dual.Load()),
+			PrimalFallbacks:  int(b.tallies[i].fallbacks.Load()),
 		}
 	}
 	return ws
@@ -491,11 +547,15 @@ func (b *bb) emitLocked(kind ProgressKind) {
 // all workers have exited.
 func (b *bb) solution(status Status) *Solution {
 	iters, refactors := b.totals()
+	dual, fallbacks := b.dualTotals()
 	sol := &Solution{
 		Status:           status,
 		Nodes:            int(b.nodesDone.Load()),
 		SimplexIters:     iters,
 		Refactorizations: refactors,
+		DualIters:        dual,
+		PrimalFallbacks:  fallbacks,
+		Presolve:         b.sf.pre,
 		RootBound:        b.rootBound,
 		WarmStarted:      b.warmUsed,
 		Threads:          b.threads,
@@ -527,11 +587,34 @@ type stepOut struct {
 	deferred *node // other child, destined for the open queue
 }
 
+// materialize expands a delta node's bound chain into the worker's
+// scratch vectors: the root (post-presolve) bounds overlaid with every
+// ancestor's single-variable delta, applied root-to-leaf so a deeper
+// re-branch on the same variable wins. The returned slices alias the
+// workspace and are valid until the next materialize on it.
+func (b *bb) materialize(nd *node, ws *lpWorkspace) (lo, hi []float64) {
+	n := b.sf.nStruct
+	lo = ws.nodeLo[:n]
+	hi = ws.nodeHi[:n]
+	copy(lo, b.sf.lo)
+	copy(hi, b.sf.hi)
+	ws.chain = ws.chain[:0]
+	for a := nd; a != nil && a.bvar >= 0; a = a.parent {
+		ws.chain = append(ws.chain, a)
+	}
+	for i := len(ws.chain) - 1; i >= 0; i-- {
+		a := ws.chain[i]
+		lo[a.bvar], hi[a.bvar] = a.blo, a.bhi
+	}
+	return lo, hi
+}
+
 // step solves one node's LP against the given pruning cutoff and
 // either ends the chain (pruned/integral) or branches. It touches no
 // shared search state beyond the (atomic) tally.
 func (b *bb) step(cur *node, cutoff float64, ws *lpWorkspace, tally *workerTally) (stepOut, error) {
-	st, obj, x, counts, err := solveLP(b.sf, cur.lo, cur.hi, b.iterLimit, cur.hint, ws)
+	lo, hi := b.materialize(cur, ws)
+	st, obj, x, counts, err := solveLP(b.sf, lo, hi, b.iterLimit, cur.hint, cur.snap, ws)
 	tally.addCounts(counts)
 	if err != nil {
 		return stepOut{}, err
@@ -546,10 +629,16 @@ func (b *bb) step(cur *node, cutoff float64, ws *lpWorkspace, tally *workerTally
 	if j < 0 {
 		return stepOut{pruned: true}, nil
 	}
+	// Capture this node's optimal basis for the children to inherit —
+	// now, while the workspace still holds it.
+	var snap *basisSnapshot
+	if b.sf.dualOK {
+		snap = ws.captureBasis(b.sf)
+	}
 	floor := math.Floor(x[j])
 	frac := x[j] - floor
-	down := child(cur, j, cur.lo[j], math.Min(cur.hi[j], floor), obj, x)
-	up := child(cur, j, math.Max(cur.lo[j], floor+1), cur.hi[j], obj, x)
+	down := child(cur, j, lo[j], math.Min(hi[j], floor), obj, x, snap)
+	up := child(cur, j, math.Max(lo[j], floor+1), hi[j], obj, x, snap)
 	out := stepOut{obj: obj, x: x, follow: down, deferred: up}
 	if frac > 0.5 {
 		// Follow the side the LP leans toward; queue the other.
@@ -577,6 +666,9 @@ func (b *bb) searchSeq(ws *lpWorkspace) (*Solution, error) {
 		if nd.bound >= b.bestObj-1e-9 {
 			continue // pruned by incumbent
 		}
+		// New plunge chain: any resident basis belongs to the previous
+		// chain's leaf, not this node's parent (see lpWorkspace.invalidate).
+		ws.invalidate()
 		cur := nd
 		for steps := 0; cur != nil && steps < plungeLimit; steps++ {
 			n := b.nodesDone.Load()
@@ -731,24 +823,57 @@ func fractionalVar(sf *standardForm, x []float64) int {
 }
 
 // child builds the subproblem of parent with variable j's bounds
-// narrowed to [newLo, newHi]; nil when the domain would be empty.
-func child(parent *node, j int, newLo, newHi, bound float64, hint []float64) *node {
+// narrowed to [newLo, newHi]; nil when the domain would be empty. The
+// child is a delta record — no bound vectors are cloned.
+func child(parent *node, j int, newLo, newHi, bound float64, hint []float64, snap *basisSnapshot) *node {
 	if newLo > newHi {
 		return nil
 	}
-	lo := append([]float64(nil), parent.lo...)
-	hi := append([]float64(nil), parent.hi...)
-	lo[j], hi[j] = newLo, newHi
-	return &node{lo: lo, hi: hi, bound: bound, depth: parent.depth + 1, hint: hint}
+	return &node{
+		parent: parent,
+		bvar:   j,
+		blo:    newLo,
+		bhi:    newHi,
+		bound:  bound,
+		depth:  parent.depth + 1,
+		hint:   hint,
+		snap:   snap,
+	}
 }
 
-// diveHeuristic repeatedly fixes the least-fractional integer variable
-// to its rounded value and re-solves, hoping to land on an integer
-// feasible incumbent quickly.
+// diveBatchFrac is the fractionality below which the dive considers a
+// variable "nearly decided" and fixes it in bulk: every integer
+// variable this close to its rounding is fixed in one step before the
+// single re-solve. Large placement models carry dozens of
+// barely-fractional indicator variables at the root, and fixing them
+// one LP at a time is what used to dominate joint-model solve time.
+const diveBatchFrac = 0.1
+
+// diveHeuristic repeatedly fixes the most nearly-integral fractional
+// variables to their rounded values and re-solves, hoping to land on
+// an integer feasible incumbent quickly. Each step fixes the whole
+// batch of variables within diveBatchFrac of integral (at minimum the
+// single least-fractional one); if the batched re-solve comes back
+// infeasible the step retries with just that single variable, so the
+// batching is a pure LP-count optimization, never a quality cliff.
+//
+// The dive deliberately does NOT use the dual re-solver: a dive is an
+// incumbent hunt, and which optimal vertex the LP returns decides
+// whether the rounding sequence lands somewhere good. The hint-guided
+// primal (nonbasic variables start at the bound nearest the parent
+// solution) steers toward vertices close to the previous iterate,
+// which is what makes rounding converge; the dual stops at whichever
+// alternate optimum its pivot path reaches first, and on degenerate
+// placement models that wrecks the dive's incumbent quality (observed:
+// 3481 vs 9523 on the NetCache drift model, which in turn blew the
+// tree search up by three orders of magnitude). Tree node re-solves
+// only consume the LP *bound*, so they keep the dual path.
 func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total *lpCounts, ws *lpWorkspace) ([]float64, float64, bool) {
 	lo = append([]float64(nil), lo...)
 	hi = append([]float64(nil), hi...)
 	x := x0
+	batch := make([]int, 0, sf.nStruct) // fixed this step, bestJ first
+	var savedLo, savedHi []float64
 	for depth := 0; depth < 4*len(sf.intVar)+8; depth++ {
 		if integral(sf, x) {
 			obj := 0.0
@@ -757,8 +882,10 @@ func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total 
 			}
 			return x, obj, true
 		}
-		// Fix the variable closest to an integer.
+		// Gather the step's batch: the least-fractional variable plus
+		// everything else within diveBatchFrac of integral.
 		bestJ, bestFrac := -1, 2.0
+		batch = batch[:0]
 		for j, isInt := range sf.intVar {
 			if !isInt {
 				continue
@@ -772,17 +899,43 @@ func diveHeuristic(sf *standardForm, lo, hi, x0 []float64, iterLimit int, total 
 				bestFrac = frac
 				bestJ = j
 			}
+			if frac <= diveBatchFrac {
+				batch = append(batch, j)
+			}
 		}
 		if bestJ < 0 {
 			return nil, 0, false
 		}
-		r := math.Round(x[bestJ])
-		r = math.Min(math.Max(r, lo[bestJ]), hi[bestJ])
-		lo[bestJ], hi[bestJ] = r, r
-		st, _, nx, counts, err := solveLP(sf, lo, hi, iterLimit, x, ws)
-		total.iters += counts.iters
-		total.refactors += counts.refactors
-		if err != nil || st != lpOptimal {
+		if len(batch) == 0 {
+			batch = append(batch, bestJ)
+		}
+		savedLo = append(savedLo[:0], lo...)
+		savedHi = append(savedHi[:0], hi...)
+		for _, j := range batch {
+			r := math.Round(x[j])
+			r = math.Min(math.Max(r, lo[j]), hi[j])
+			lo[j], hi[j] = r, r
+		}
+		st, _, nx, counts, err := solveLP(sf, lo, hi, iterLimit, x, nil, ws)
+		total.add(counts)
+		if err != nil {
+			return nil, 0, false
+		}
+		if st != lpOptimal && len(batch) > 1 {
+			// The batch over-constrained the LP; retry fixing only the
+			// least-fractional variable.
+			copy(lo, savedLo)
+			copy(hi, savedHi)
+			r := math.Round(x[bestJ])
+			r = math.Min(math.Max(r, lo[bestJ]), hi[bestJ])
+			lo[bestJ], hi[bestJ] = r, r
+			st, _, nx, counts, err = solveLP(sf, lo, hi, iterLimit, x, nil, ws)
+			total.add(counts)
+			if err != nil {
+				return nil, 0, false
+			}
+		}
+		if st != lpOptimal {
 			return nil, 0, false
 		}
 		x = nx
@@ -833,12 +986,12 @@ func Verify(m *Model, values []float64) error {
 // SolveRootLP solves only the LP relaxation (diagnostics and ablation
 // benchmarks).
 func SolveRootLP(m *Model) (*Solution, error) {
-	sf, err := lowerModel(m)
+	sf, err := lowerModel(m, true)
 	if err != nil {
 		return &Solution{Status: StatusInfeasible}, nil //nolint:nilerr
 	}
 	lo, hi := sf.cloneBounds()
-	st, obj, x, counts, err := solveLP(sf, lo, hi, defaultIterLimit, nil, nil)
+	st, obj, x, counts, err := solveLP(sf, lo, hi, defaultIterLimit, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}

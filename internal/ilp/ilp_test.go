@@ -516,9 +516,7 @@ func TestPresolveSingletonRows(t *testing.T) {
 		return m
 	}
 	withPre := solveOK(t, build())
-	SetPresolve(false)
-	withoutPre, err := Solve(build(), Options{})
-	SetPresolve(true)
+	withoutPre, err := Solve(build(), Options{DisablePresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -299,6 +299,17 @@ type Solution struct {
 	// Refactorizations is the total number of basis refactorizations
 	// across all LP solves.
 	Refactorizations int
+	// DualIters is the subset of SimplexIters performed by dual-simplex
+	// child re-solves from inherited bases (dual.go).
+	DualIters int
+	// PrimalFallbacks counts child LPs whose dual re-solve was
+	// abandoned (singular basis, dual infeasibility, stall) and
+	// re-solved by the two-phase primal path. A rising fallback rate is
+	// the solver-regression signal obs traces watch for.
+	PrimalFallbacks int
+	// Presolve reports the root presolve's reductions (zero when
+	// Options.DisablePresolve was set).
+	Presolve PresolveStats
 	// RootBound is the root LP relaxation objective in the model's
 	// sense (a bound on the best possible integer objective).
 	RootBound float64

@@ -148,6 +148,9 @@ func (b *bb) freeWorker(id int, ws *lpWorkspace) {
 // unexpanded chain node is pushed back so the queue keeps a sound
 // bound for the abandoned subtree.
 func (b *bb) plungeFree(nd *node, ws *lpWorkspace, tally *workerTally) error {
+	// New chain: drop any resident basis from the previous chain (see
+	// lpWorkspace.invalidate).
+	ws.invalidate()
 	cur := nd
 	for steps := 0; cur != nil && steps < plungeLimit; steps++ {
 		if b.stopped.Load() {
@@ -232,6 +235,12 @@ type detChain struct {
 // the chain's evolution depends only on its start node — never on the
 // other workers' timing.
 func (b *bb) plungeDet(nd *node, cutoff float64, ws *lpWorkspace, tally *workerTally) detChain {
+	// New chain: drop any resident basis. In deterministic mode this is
+	// what makes basis residency structural — a chain's first node
+	// always refactorizes from its snapshot regardless of which worker
+	// (or how many) ran the previous chains, so the pivot arithmetic is
+	// bit-identical at every thread count.
+	ws.invalidate()
 	var ch detChain
 	cur := nd
 	for steps := 0; cur != nil && steps < plungeLimit; steps++ {

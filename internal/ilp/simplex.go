@@ -75,11 +75,18 @@ type standardForm struct {
 	// errDeadline. Solve stamps it once before the root LP; every
 	// worker reads it immutably afterwards.
 	deadline time.Time
+	// dualOK enables dual-simplex child re-solves (set from
+	// Options.DisableDual by Solve).
+	dualOK bool
+	// pre records the root presolve's reductions for Solution reporting.
+	pre PresolveStats
 }
 
 // lowerModel converts a Model into standardForm, negating the objective
-// for maximization and applying row equilibration scaling.
-func lowerModel(m *Model) (*standardForm, error) {
+// for maximization and applying row equilibration scaling. When
+// presolve is set the fixpoint reduction pass (presolve.go) runs over
+// the gathered rows before the columns are built.
+func lowerModel(m *Model, presolve bool) (*standardForm, error) {
 	sf := &standardForm{
 		nStruct: len(m.vars),
 		m:       len(m.constrs),
@@ -105,14 +112,18 @@ func lowerModel(m *Model) (*standardForm, error) {
 		sf.cost[v] = sign * c
 	}
 	sf.objK = sign * m.obj.konst
-	rows := 0
+	// Gather rows into the presolve intermediate form, dropping
+	// constant rows after a direct satisfiability check.
+	preRows := make([]preRow, 0, len(m.constrs))
 	for _, c := range m.constrs {
-		// Row scaling: divide by the largest coefficient magnitude.
-		scale := 0.0
+		nonzero := false
 		for _, coef := range c.expr.coef {
-			scale = math.Max(scale, math.Abs(coef))
+			if coef != 0 {
+				nonzero = true
+				break
+			}
 		}
-		if scale == 0 {
+		if !nonzero {
 			// Constant row: check satisfiability directly, then drop.
 			ok := true
 			switch c.op {
@@ -128,70 +139,63 @@ func lowerModel(m *Model) (*standardForm, error) {
 			}
 			continue
 		}
-		if presolveEnabled && c.expr.Len() == 1 {
-			// Singleton row: fold into the variable's bounds.
-			var v Var
-			var a float64
-			c.expr.Terms(func(tv Var, coef float64) { v, a = tv, coef })
-			if foldSingleton(sf, v, a, c.op, c.rhs) {
-				if sf.lo[v] > sf.hi[v]+feasTol {
-					return nil, fmt.Errorf("ilp: constraint %q empties the domain of %s", c.name, m.vars[v].name)
-				}
-				continue
-			}
+		row := preRow{
+			name: c.name,
+			vars: make([]int32, 0, c.expr.Len()),
+			coef: make([]float64, 0, c.expr.Len()),
+			op:   c.op,
+			rhs:  c.rhs,
+		}
+		c.expr.Terms(func(v Var, coef float64) {
+			row.vars = append(row.vars, int32(v))
+			row.coef = append(row.coef, coef)
+		})
+		preRows = append(preRows, row)
+	}
+	if presolve {
+		stats, err := presolveFixpoint(sf, preRows)
+		if err != nil {
+			return nil, err
+		}
+		sf.pre = stats
+	}
+	// Build the scaled columns from the surviving rows (substituted
+	// terms have zero coefficients and are skipped; a row left with no
+	// terms was classified by the presolve activity checks already).
+	rows := 0
+	for r := range preRows {
+		pr := &preRows[r]
+		if pr.dropped {
+			continue
+		}
+		// Row scaling: divide by the largest coefficient magnitude.
+		scale := 0.0
+		for _, coef := range pr.coef {
+			scale = math.Max(scale, math.Abs(coef))
+		}
+		if scale == 0 {
+			// All terms substituted away: the activity checks in
+			// presolveRow proved it satisfiable, or it would have
+			// errored; nothing left to enforce.
+			continue
 		}
 		i := rows
 		rows++
-		sf.ops[i] = c.op
-		sf.b[i] = c.rhs / scale
-		c.expr.Terms(func(v Var, coef float64) {
+		sf.ops[i] = pr.op
+		sf.b[i] = pr.rhs / scale
+		for k, v := range pr.vars {
+			if pr.coef[k] == 0 {
+				continue
+			}
 			col := &sf.cols[v]
 			col.ind = append(col.ind, int32(i))
-			col.val = append(col.val, coef/scale)
-		})
+			col.val = append(col.val, pr.coef[k]/scale)
+		}
 	}
 	sf.m = rows
 	sf.ops = sf.ops[:rows]
 	sf.b = sf.b[:rows]
 	return sf, nil
-}
-
-// presolveEnabled toggles the singleton-row presolve (ablations only).
-var presolveEnabled = true
-
-// SetPresolve toggles the singleton-row presolve.
-func SetPresolve(on bool) { presolveEnabled = on }
-
-// foldSingleton tightens v's bounds with "a*v op rhs"; reports whether
-// the row may be dropped.
-func foldSingleton(sf *standardForm, v Var, a float64, op Op, rhs float64) bool {
-	bound := rhs / a
-	tightLo := func(x float64) {
-		if sf.intVar[v] {
-			x = math.Ceil(x - intTol)
-		}
-		if x > sf.lo[v] {
-			sf.lo[v] = x
-		}
-	}
-	tightHi := func(x float64) {
-		if sf.intVar[v] {
-			x = math.Floor(x + intTol)
-		}
-		if x < sf.hi[v] {
-			sf.hi[v] = x
-		}
-	}
-	switch {
-	case op == EQ:
-		tightLo(bound)
-		tightHi(bound)
-	case (op == LE) == (a > 0): // a*v <= rhs with a>0, or a*v >= rhs with a<0
-		tightHi(bound)
-	default:
-		tightLo(bound)
-	}
-	return true
 }
 
 // clone duplicates the bound vectors (the only per-node mutable state)
@@ -226,8 +230,47 @@ type lpWorkspace struct {
 	xB     []float64
 	resid  []float64
 	y, w   []float64
-	bmat   [][]float64 // refactorization scratch, [B | I] augmented
+	bmat   [][]float64 // refactorization scratch, [K | I] augmented
 	slack  []spCol     // cached unit slack columns, one per row
+
+	// Block-triangular refactorization scratch (refactorizeBasis):
+	// singleton-column/home-row matching and the kernel index maps.
+	pivRow []int32
+	rowPos []int32
+	kq     []int32
+	kcols  []int32
+	krows  []int32
+	dinv   []float64
+
+	// Delta-node materialization scratch (branchbound.go): the node
+	// chain's bound deltas are applied over the root bounds here, so
+	// child nodes never clone full bound vectors.
+	nodeLo, nodeHi []float64
+	chain          []*node
+
+	// Dual re-solve state. basisValid reports that basis/status/binv
+	// describe the optimal basis of the most recent solve on this
+	// workspace; resident is the snapshot captured from that state (nil
+	// unless captureBasis ran after the solve). When a dual re-solve
+	// receives snap == resident the refactorization is skipped — the
+	// inverse is already in the workspace. pivotAge counts pivots since
+	// the last refactorization ACROSS solves, so a long plunge chain of
+	// cheap dual re-solves still refactorizes on the usual cadence.
+	basisValid bool
+	resident   *basisSnapshot
+	pivotAge   int
+	dcand      []dualCand // dual ratio-test candidate scratch
+	nzIdx      []int32    // pivotBinv sparse pivot-row index scratch
+}
+
+// invalidate forgets any resident basis. Plunge drivers call it at
+// every chain start so basis residency is a structural property of the
+// search tree (parent-to-follow-child on one worker) rather than an
+// artifact of which chains a worker happened to run — the property
+// that keeps Deterministic solves bit-identical across thread counts.
+func (ws *lpWorkspace) invalidate() {
+	ws.resident = nil
+	ws.basisValid = false
 }
 
 // newWorkspace allocates buffers for solving LPs over sf. Capacities
@@ -250,12 +293,20 @@ func newWorkspace(sf *standardForm) *lpWorkspace {
 		w:      make([]float64, m),
 		bmat:   make([][]float64, m),
 		slack:  make([]spCol, m),
+		pivRow: make([]int32, m),
+		rowPos: make([]int32, m),
+		kq:     make([]int32, m),
+		kcols:  make([]int32, 0, m),
+		krows:  make([]int32, 0, m),
+		dinv:   make([]float64, m),
 	}
 	for i := 0; i < m; i++ {
 		ws.binv[i] = make([]float64, m)
 		ws.bmat[i] = make([]float64, 2*m)
 		ws.slack[i] = spCol{ind: []int32{int32(i)}, val: []float64{1}}
 	}
+	ws.nodeLo = make([]float64, sf.nStruct)
+	ws.nodeHi = make([]float64, sf.nStruct)
 	return ws
 }
 
@@ -286,10 +337,21 @@ const (
 )
 
 // lpCounts reports per-LP-solve effort (feeds Solution totals and the
-// branch-and-bound progress hook).
+// branch-and-bound progress hook). iters counts every simplex
+// iteration; dual is the subset spent in dual re-solves; fallbacks
+// counts dual re-solves abandoned to the primal path.
 type lpCounts struct {
 	iters     int
+	dual      int
 	refactors int
+	fallbacks int
+}
+
+func (c *lpCounts) add(o lpCounts) {
+	c.iters += o.iters
+	c.dual += o.dual
+	c.refactors += o.refactors
+	c.fallbacks += o.fallbacks
 }
 
 // solveLP solves the standard form with the given structural bounds
@@ -302,13 +364,27 @@ type lpCounts struct {
 // hint, when non-nil, is a (near-)feasible point — typically the
 // parent node's LP solution — used to warm the initial nonbasic bound
 // assignment.
+// snap, when non-nil, is a dual-feasible basis inherited from the
+// parent node; the dual-simplex re-solver (dual.go) is tried first and
+// the primal-with-artificials path below is the counted fallback.
 // ws supplies reusable buffers; nil allocates a fresh workspace (one
 // per branch-and-bound worker is the intended steady state).
-func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64, ws *lpWorkspace) (lpStatus, float64, []float64, lpCounts, error) {
+func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64, snap *basisSnapshot, ws *lpWorkspace) (lpStatus, float64, []float64, lpCounts, error) {
 	if ws == nil {
 		ws = newWorkspace(sf)
 	}
 	total := lpCounts{}
+	if snap != nil && sf.dualOK {
+		st, obj, x, counts, ok, err := solveDual(sf, lo, hi, iterLimit, snap, ws)
+		total.add(counts)
+		if err != nil {
+			return st, obj, x, total, err // errDeadline
+		}
+		if ok {
+			return st, obj, x, total, nil
+		}
+		total.fallbacks++
+	}
 	for _, cadence := range []int{refactorEvery, 16, 4, 1} {
 		st, obj, x, counts, err := solveLPOnce(sf, lo, hi, iterLimit, cadence, hint, ws)
 		total.iters += counts.iters
@@ -322,6 +398,7 @@ func solveLP(sf *standardForm, lo, hi []float64, iterLimit int, hint []float64, 
 }
 
 func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hint []float64, ws *lpWorkspace) (lpStatus, float64, []float64, lpCounts, error) {
+	ws.invalidate() // the run below overwrites any resident basis
 	m := sf.m
 	s := &simplex{
 		sf:       sf,
@@ -493,6 +570,10 @@ func solveLPOnce(sf *standardForm, lo, hi []float64, iterLimit, cadence int, hin
 	for j := 0; j < sf.nStruct; j++ {
 		obj += sf.cost[j] * x[j]
 	}
+	// The extraction refactorized, so the workspace now holds a clean
+	// optimal basis a child's dual re-solve can inherit.
+	ws.basisValid = true
+	ws.pivotAge = 0
 	return lpOptimal, obj, x, s.counts(), nil
 }
 
@@ -725,31 +806,13 @@ func (s *simplex) iterate(iterLimit int) (lpStatus, error) {
 			s.basis[leave] = int32(enter)
 			s.xB[leave] = enterVal
 			// Pivot the explicit inverse.
-			piv := w[leave]
-			if math.Abs(piv) < pivotTol {
+			if math.Abs(w[leave]) < pivotTol {
 				if err := s.refactorize(); err != nil {
 					return lpOptimal, err
 				}
 				continue
 			}
-			rowR := s.binv[leave]
-			inv := 1 / piv
-			for c := 0; c < m; c++ {
-				rowR[c] *= inv
-			}
-			for i := 0; i < m; i++ {
-				if i == leave {
-					continue
-				}
-				f := w[i]
-				if f == 0 {
-					continue
-				}
-				ri := s.binv[i]
-				for c := 0; c < m; c++ {
-					ri[c] -= f * rowR[c]
-				}
-			}
+			s.pivotBinv(leave, w)
 			s.pivots++
 			if s.pivots >= s.refEvery {
 				if err := s.refactorize(); err != nil {
@@ -781,7 +844,9 @@ func (s *simplex) counts() lpCounts {
 }
 
 // refactorize recomputes the basis inverse and basic values from
-// scratch via Gauss-Jordan elimination with partial pivoting.
+// scratch, then checks the recomputed basics against their bounds: a
+// primal iterate must still be (near-)feasible, and drift past the
+// tolerance aborts the attempt with errNumerical.
 func (s *simplex) refactorize() error {
 	if debugChecks {
 		old := append([]float64(nil), s.xB...)
@@ -793,41 +858,124 @@ func (s *simplex) refactorize() error {
 			}
 		}()
 	}
+	if err := s.refactorizeBasis(); err != nil {
+		return err
+	}
+	// Drift check: the recomputed basics must still be (near-)feasible;
+	// incremental updates through small pivots can silently walk the
+	// iterate out of the feasible region.
+	for i, bj := range s.basis {
+		if s.xB[i] < s.lo[bj]-1e-6 || s.xB[i] > s.hi[bj]+1e-6 {
+			if s.refEvery <= 1 && s.xB[i] > s.lo[bj]-1e-4 && s.xB[i] < s.hi[bj]+1e-4 {
+				// Sub-1e-4 residue from bound snapping under per-pivot
+				// refactorization: clamp and continue.
+				s.xB[i] = math.Min(math.Max(s.xB[i], s.lo[bj]), s.hi[bj])
+				continue
+			}
+			return errNumerical
+		}
+	}
+	return nil
+}
+
+// refactorizeBasis rebuilds the explicit basis inverse and recomputes
+// the basic values. Unlike refactorize it does NOT require primal
+// feasibility — the dual simplex refactorizes through deliberately
+// infeasible iterates.
+//
+// The elimination exploits the basis structure of this solver's LPs:
+// most basic columns are singletons (slacks and artificials are unit
+// vectors; the NetCache/joint placement bases run 80–90% slack).
+// Matching each singleton column to its home row block-triangularizes
+// the basis by permutation,
+//
+//	B_perm = [ D  E ]   D: diagonal of matched singleton entries
+//	         [ 0  K ]   K: kernel of the unmatched columns and rows
+//
+// (singleton columns have no entries outside their home row, hence the
+// zero block), so only the k×k kernel needs Gauss-Jordan elimination:
+//
+//	Binv_perm = [ D⁻¹  -D⁻¹·E·K⁻¹ ]
+//	            [ 0         K⁻¹   ]
+//
+// That turns the O(m³) full elimination into O(k³) plus sparse
+// assembly — the difference between ~250M and ~1M multiply-adds on the
+// joint multi-tenant form — which matters because every branch-and-
+// bound chain start re-factorizes an inherited basis snapshot.
+func (s *simplex) refactorizeBasis() error {
 	m := s.sf.m
-	// Build B (dense) from the basis columns, reusing the workspace's
-	// [B | I] augmented scratch (its rows were permuted by the previous
-	// elimination, so every row is rezeroed).
-	bmat := s.ws.bmat[:m]
-	for i := range bmat {
-		row := bmat[i]
+	ws := s.ws
+	pivRow := ws.pivRow[:m] // per basis position: matched home row, or -1
+	rowPos := ws.rowPos[:m] // per row: matched basis position, or -1
+	dinv := ws.dinv[:m]     // per matched position: 1/diagonal entry
+	for i := 0; i < m; i++ {
+		pivRow[i] = -1
+		rowPos[i] = -1
+	}
+	kcols := ws.kcols[:0] // kernel basis positions
+	for c, bj := range s.basis {
+		col := &s.cols[bj]
+		if len(col.ind) == 1 {
+			r := col.ind[0]
+			if a := col.val[0]; rowPos[r] == -1 && math.Abs(a) >= 1e-12 {
+				rowPos[r] = int32(c)
+				pivRow[c] = r
+				dinv[c] = 1 / a
+				continue
+			}
+		}
+		kcols = append(kcols, int32(c))
+	}
+	krows := ws.krows[:0] // kernel rows, ascending
+	kq := ws.kq[:m]       // per row: kernel row index, or -1
+	for r := 0; r < m; r++ {
+		if rowPos[r] == -1 {
+			kq[r] = int32(len(krows))
+			krows = append(krows, int32(r))
+		} else {
+			kq[r] = -1
+		}
+	}
+	kK := len(kcols) // == len(krows) by counting
+
+	// Invert the kernel via Gauss-Jordan with partial pivoting on the
+	// workspace's augmented scratch [K | I] (rows were permuted by the
+	// previous elimination, so every used row is rezeroed).
+	bmat := ws.bmat[:kK]
+	for i := 0; i < kK; i++ {
+		row := bmat[i][:2*kK]
 		for k := range row {
 			row[k] = 0
 		}
-		row[m+i] = 1
+		row[kK+i] = 1
 	}
-	for c, bj := range s.basis {
-		col := &s.cols[bj]
+	for ci, c := range kcols {
+		col := &s.cols[s.basis[c]]
 		for k, r := range col.ind {
-			bmat[r][c] = col.val[k]
+			if qi := kq[r]; qi >= 0 {
+				bmat[qi][ci] = col.val[k]
+			}
 		}
 	}
-	for c := 0; c < m; c++ {
-		// Partial pivot.
+	for c := 0; c < kK; c++ {
 		p := c
-		for r := c + 1; r < m; r++ {
+		for r := c + 1; r < kK; r++ {
 			if math.Abs(bmat[r][c]) > math.Abs(bmat[p][c]) {
 				p = r
 			}
 		}
+		// A zero pivot column also catches a kernel column supported
+		// only on matched rows: such a column lies in the span of the
+		// matched singletons, so the basis really is singular.
 		if math.Abs(bmat[p][c]) < 1e-12 {
 			return errSingularBasis
 		}
 		bmat[c], bmat[p] = bmat[p], bmat[c]
 		inv := 1 / bmat[c][c]
-		for k := c; k < 2*m; k++ {
+		for k := c; k < 2*kK; k++ {
 			bmat[c][k] *= inv
 		}
-		for r := 0; r < m; r++ {
+		for r := 0; r < kK; r++ {
 			if r == c {
 				continue
 			}
@@ -835,15 +983,59 @@ func (s *simplex) refactorize() error {
 			if f == 0 {
 				continue
 			}
-			for k := c; k < 2*m; k++ {
+			for k := c; k < 2*kK; k++ {
 				bmat[r][k] -= f * bmat[c][k]
 			}
 		}
 	}
-	for i := 0; i < m; i++ {
-		copy(s.binv[i], bmat[i][m:])
+
+	// Assemble Binv (rows: basis positions, columns: original rows).
+	for c := 0; c < m; c++ {
+		row := s.binv[c]
+		for k := range row {
+			row[k] = 0
+		}
+		if pivRow[c] >= 0 {
+			row[pivRow[c]] = dinv[c]
+		}
 	}
-	// Recompute xB = Binv · (b - A_N x_N).
+	for ci, c := range kcols {
+		row := s.binv[c]
+		kinv := bmat[ci][kK : 2*kK]
+		for qi, r := range krows {
+			row[r] = kinv[qi]
+		}
+	}
+	// The -D⁻¹·E·K⁻¹ block, assembled from the kernel columns' entries
+	// on matched rows (the sparse E) without materializing E.
+	for ci, c := range kcols {
+		col := &s.cols[s.basis[c]]
+		kinv := bmat[ci][kK : 2*kK]
+		for k, r := range col.ind {
+			cp := rowPos[r]
+			if cp < 0 {
+				continue
+			}
+			f := col.val[k] * dinv[cp]
+			brow := s.binv[cp]
+			for qi, rr := range krows {
+				brow[rr] -= f * kinv[qi]
+			}
+		}
+	}
+	s.computeXB()
+	s.pivots = 0
+	ws.pivotAge = 0
+	s.refactors++
+	return nil
+}
+
+// computeXB recomputes the basic values xB = Binv · (b - A_N x_N) from
+// the current inverse and nonbasic statuses. Dual re-solves use it
+// directly when the parent's inverse is still resident: a child's
+// bound change moves nonbasic values, not the factorization.
+func (s *simplex) computeXB() {
+	m := s.sf.m
 	resid := s.ws.resid[:m]
 	copy(resid, s.sf.b)
 	for j := 0; j < s.n; j++ {
@@ -867,23 +1059,60 @@ func (s *simplex) refactorize() error {
 		}
 		s.xB[i] = v
 	}
-	s.pivots = 0
-	s.refactors++
-	// Drift check: the recomputed basics must still be (near-)feasible;
-	// incremental updates through small pivots can silently walk the
-	// iterate out of the feasible region.
-	for i, bj := range s.basis {
-		if s.xB[i] < s.lo[bj]-1e-6 || s.xB[i] > s.hi[bj]+1e-6 {
-			if s.refEvery <= 1 && s.xB[i] > s.lo[bj]-1e-4 && s.xB[i] < s.hi[bj]+1e-4 {
-				// Sub-1e-4 residue from bound snapping under per-pivot
-				// refactorization: clamp and continue.
-				s.xB[i] = math.Min(math.Max(s.xB[i], s.lo[bj]), s.hi[bj])
-				continue
-			}
-			return errNumerical
+}
+
+// pivotBinv applies the entering column's elimination to the explicit
+// inverse: row r is scaled by the pivot and eliminated from the rest.
+// w must hold Binv·A_enter. Shared by the primal and dual iterations.
+func (s *simplex) pivotBinv(r int, w []float64) {
+	m := s.sf.m
+	rowR := s.binv[r]
+	inv := 1 / w[r]
+	// The pivot row of the inverse starts near-unit after a block
+	// refactorization and fills in slowly, so most pivots touch a
+	// handful of columns. Index its nonzeros once and update only
+	// those; past ~1/4 density the indexed walk loses to a straight
+	// scan and the dense path takes over.
+	if cap(s.ws.nzIdx) < m {
+		s.ws.nzIdx = make([]int32, 0, m)
+	}
+	nz := s.ws.nzIdx[:0]
+	for c := 0; c < m; c++ {
+		if rowR[c] != 0 {
+			rowR[c] *= inv
+			nz = append(nz, int32(c))
 		}
 	}
-	return nil
+	s.ws.nzIdx = nz
+	if len(nz)*4 > m {
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			ri := s.binv[i]
+			for c := 0; c < m; c++ {
+				ri[c] -= f * rowR[c]
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		ri := s.binv[i]
+		for _, c := range nz {
+			ri[c] -= f * rowR[c]
+		}
+	}
 }
 
 // debugChecks enables expensive internal invariant checks (set by

@@ -52,7 +52,17 @@ type Stats struct {
 	// Refactors counts basis refactorizations across all LP solves (a
 	// proxy for numerical effort).
 	Refactors int
-	Gap       float64
+	// DualIters is the subset of SimplexIter spent in dual-simplex
+	// child re-solves from inherited bases (the node-throughput fast
+	// path); PrimalFallbacks counts dual attempts abandoned to the
+	// two-phase primal. A high fallback share means the inheritance
+	// machinery is paying its cost without its benefit.
+	DualIters       int
+	PrimalFallbacks int
+	// Presolve summarizes the root presolve's reductions (all zero when
+	// presolve is disabled).
+	Presolve ilp.PresolveStats
+	Gap      float64
 	// LimitHit reports that a node or time limit stopped the search
 	// before the requested gap was certified (the layout is the best
 	// incumbent found).
@@ -124,16 +134,19 @@ func (p *ILP) extractFrom(sol *ilp.Solution) (*Layout, error) {
 		Objective: sol.Objective,
 		Stages:    make([]StageUse, p.Target.Stages),
 		Stats: Stats{
-			Vars:        p.Model.NumVars(),
-			Constrs:     p.Model.NumConstrs(),
-			Nodes:       sol.Nodes,
-			SimplexIter: sol.SimplexIters,
-			Refactors:   sol.Refactorizations,
-			Gap:         sol.AchievedGap(),
-			LimitHit:    sol.Status == ilp.StatusLimit,
-			WarmStarted: sol.WarmStarted,
-			Threads:     sol.Threads,
-			Workers:     append([]ilp.WorkerCounts(nil), sol.Workers...),
+			Vars:            p.Model.NumVars(),
+			Constrs:         p.Model.NumConstrs(),
+			Nodes:           sol.Nodes,
+			SimplexIter:     sol.SimplexIters,
+			Refactors:       sol.Refactorizations,
+			DualIters:       sol.DualIters,
+			PrimalFallbacks: sol.PrimalFallbacks,
+			Presolve:        sol.Presolve,
+			Gap:             sol.AchievedGap(),
+			LimitHit:        sol.Status == ilp.StatusLimit,
+			WarmStarted:     sol.WarmStarted,
+			Threads:         sol.Threads,
+			Workers:         append([]ilp.WorkerCounts(nil), sol.Workers...),
 		},
 		Values: append([]float64(nil), sol.Values...),
 	}
